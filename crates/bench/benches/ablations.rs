@@ -1,0 +1,31 @@
+//! §6.3 ablations bench: each future-work knob, measured and regenerated.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rampage_bench::{bench_workload, render_workload};
+use rampage_core::experiments::{ablations, run_config};
+use rampage_core::{IssueRate, SystemConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    println!(
+        "{}",
+        ablations::run(&render_workload(), IssueRate::GHZ1, 1024).render()
+    );
+
+    let w = bench_workload();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for knob in ablations::Knob::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("rampage", knob.label()),
+            &knob,
+            |b, &knob| {
+                let cfg = knob.apply(SystemConfig::rampage_switching(IssueRate::GHZ1, 1024));
+                b.iter(|| black_box(run_config(&cfg, &w)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

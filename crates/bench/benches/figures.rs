@@ -1,0 +1,37 @@
+//! Figures 2–5 bench: level-breakdown and overhead extraction, plus the
+//! slowdown derivation, regenerated at reduced scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rampage_bench::render_workload;
+use rampage_core::experiments::{fig5, figures, table3, table4, table5};
+use rampage_core::IssueRate;
+
+fn bench_figures(c: &mut Criterion) {
+    let w = render_workload();
+    let rates = [IssueRate::MHZ200, IssueRate::GHZ4];
+    let sizes = [128u64, 512, 2048, 4096];
+    let t3 = table3::run(&w, &rates, &sizes);
+
+    println!("{}", figures::level_figure(&t3, 200, "Figure 2").render());
+    println!("{}", figures::level_figure(&t3, 4000, "Figure 3").render());
+    println!("{}", figures::figure4(&t3).render());
+
+    let t4 = table4::run(&w, &t3);
+    let t5 = table5::run(&w, &rates, &sizes);
+    println!("{}", fig5::derive(&t4, &t5).render());
+
+    // The extraction/derivation steps themselves (post-simulation
+    // analytics — these run over cached cells, so they are cheap).
+    c.bench_function("figures/level_figure", |b| {
+        b.iter(|| black_box(figures::level_figure(&t3, 4000, "Figure 3")))
+    });
+    c.bench_function("figures/figure4", |b| {
+        b.iter(|| black_box(figures::figure4(&t3)))
+    });
+    c.bench_function("figures/fig5_derive", |b| {
+        b.iter(|| black_box(fig5::derive(&t4, &t5)))
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

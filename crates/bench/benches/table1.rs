@@ -1,0 +1,33 @@
+//! Table 1 bench: the analytic Rambus/disk efficiency computation, plus
+//! raw device timing-model throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rampage_core::experiments::table1;
+use rampage_dram::{efficiency, DirectRambus, Disk, MemoryDevice, Sdram};
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate the artifact once so `cargo bench` output contains it.
+    println!("{}", table1::run().render());
+
+    c.bench_function("table1/full_table", |b| {
+        b.iter(|| black_box(table1::run()))
+    });
+
+    let rambus = DirectRambus::non_pipelined();
+    let disk = Disk::paper_example();
+    let sdram = Sdram::paper_example();
+    c.bench_function("table1/rambus_transfer_time", |b| {
+        b.iter(|| black_box(rambus.transfer_time(black_box(4096))))
+    });
+    c.bench_function("table1/efficiency_all_devices", |b| {
+        b.iter(|| {
+            let r = efficiency(&rambus, black_box(4096));
+            let d = efficiency(&disk, black_box(4096));
+            let s = efficiency(&sdram, black_box(4096));
+            black_box((r, d, s))
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 4 bench: RAMpage with context switches on misses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rampage_bench::{bench_workload, render_workload};
+use rampage_core::experiments::{run_config, table3, table4};
+use rampage_core::{IssueRate, SystemConfig};
+
+fn bench_table4(c: &mut Criterion) {
+    // Reduced regeneration: one fast rate where switching matters most.
+    let w = render_workload();
+    let t3 = table3::run(&w, &[IssueRate::GHZ4], &[512, 1024, 2048, 4096]);
+    let t4 = table4::run(&w, &t3);
+    println!("{}", t4.render());
+
+    let w = bench_workload();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    for &size in &[1024u64, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("switch_on_miss", size),
+            &size,
+            |b, &size| {
+                let cfg = SystemConfig::rampage_switching(IssueRate::GHZ4, size);
+                b.iter(|| black_box(run_config(&cfg, &w)))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("no_switch", size), &size, |b, &size| {
+            let cfg = SystemConfig::rampage(IssueRate::GHZ4, size);
+            b.iter(|| black_box(run_config(&cfg, &w)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

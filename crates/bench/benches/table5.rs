@@ -1,0 +1,29 @@
+//! Table 5 bench: the 2-way associative L2 with context switches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rampage_bench::{bench_workload, render_workload};
+use rampage_core::experiments::{run_config, table5};
+use rampage_core::{IssueRate, SystemConfig};
+
+fn bench_table5(c: &mut Criterion) {
+    let t5 = table5::run(
+        &render_workload(),
+        &[IssueRate::MHZ200, IssueRate::GHZ4],
+        &[128, 256, 512, 1024, 2048, 4096],
+    );
+    println!("{}", t5.render());
+
+    let w = bench_workload();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    for &size in &[128u64, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("two_way", size), &size, |b, &size| {
+            let cfg = SystemConfig::two_way(IssueRate::GHZ1, size);
+            b.iter(|| black_box(run_config(&cfg, &w)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared helpers for the Criterion bench harness.
+//!
+//! Each bench target regenerates one paper artifact at a reduced scale
+//! (so `cargo bench` both measures the simulator's throughput and prints
+//! a miniature of every table/figure), while the `repro` binary in the
+//! root crate produces the full-scale versions recorded in
+//! `EXPERIMENTS.md`.
+
+use rampage_core::experiments::Workload;
+
+/// The workload used by bench measurement loops: small enough for tight
+/// iteration, large enough to exercise every subsystem (TLB refills,
+/// page faults, inclusion, write-backs).
+pub fn bench_workload() -> Workload {
+    Workload {
+        nbench: 4,
+        scale: 10_000,
+        seed: 0xbe7c4,
+    }
+}
+
+/// A slightly larger workload for the one-shot artifact regeneration
+/// printed before measurements.
+pub fn render_workload() -> Workload {
+    Workload {
+        nbench: 8,
+        scale: 2_000,
+        seed: 0xbe7c4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_modest() {
+        assert!(bench_workload().total_refs() < 100_000);
+        assert!(render_workload().total_refs() < 500_000);
+    }
+}

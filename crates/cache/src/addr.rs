@@ -1,0 +1,74 @@
+//! Physical addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical address.
+///
+/// In the conventional hierarchy this addresses DRAM; in the RAMpage
+/// hierarchy it addresses the SRAM main memory. Keeping it a distinct type
+/// from `rampage_trace::VirtAddr` means translation can never be skipped by
+/// accident — caches only accept [`PhysAddr`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The address rounded down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_down(self, align: u64) -> PhysAddr {
+        debug_assert!(align.is_power_of_two());
+        PhysAddr(self.0 & !(align - 1))
+    }
+
+    /// Block number for a given block size in bytes (a power of two).
+    #[inline]
+    pub fn block_number(self, block_size: u64) -> u64 {
+        debug_assert!(block_size.is_power_of_two());
+        self.0 >> block_size.trailing_zeros()
+    }
+
+    /// Byte offset within the block.
+    #[inline]
+    pub fn block_offset(self, block_size: u64) -> u64 {
+        debug_assert!(block_size.is_power_of_two());
+        self.0 & (block_size - 1)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_math() {
+        let a = PhysAddr(0x1234);
+        assert_eq!(a.block_number(32), 0x1234 / 32);
+        assert_eq!(a.block_offset(32), 0x1234 % 32);
+        assert_eq!(a.align_down(32).0, 0x1220);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr(0x40).to_string(), "0x00000040");
+    }
+}

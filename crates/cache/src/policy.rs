@@ -1,0 +1,78 @@
+//! Replacement policies for set-associative caches.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which block of a set to evict on a miss.
+///
+/// The paper's baseline L2 is direct-mapped (policy irrelevant); its 2-way
+/// "more realistic" L2 uses random replacement (§4.7); the TLB in
+/// `rampage-vm` also uses random replacement (§4.3). LRU and FIFO are
+/// provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict a uniformly random way (paper's choice for 2-way L2 and TLB).
+    Random,
+    /// Evict the way filled longest ago.
+    Fifo,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Random => "random",
+            ReplacementPolicy::Fifo => "FIFO",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-set replacement metadata: a monotone stamp per way.
+///
+/// * LRU — stamp is the last-touch time; evict the minimum.
+/// * FIFO — stamp is the fill time; evict the minimum.
+/// * Random — stamps unused; the cache's RNG picks the way.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SetMeta {
+    pub stamps: Vec<u64>,
+}
+
+impl SetMeta {
+    pub fn new(ways: u32) -> Self {
+        SetMeta {
+            stamps: vec![0; ways as usize],
+        }
+    }
+
+    /// Way with the smallest stamp (LRU/FIFO victim among valid ways).
+    pub fn oldest(&self) -> usize {
+        self.stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("sets have at least one way")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_picks_min_stamp() {
+        let mut m = SetMeta::new(4);
+        m.stamps = vec![5, 2, 9, 2];
+        assert_eq!(m.oldest(), 1, "first minimum wins ties");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Random.to_string(), "random");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+    }
+}

@@ -1,0 +1,114 @@
+//! Hit/miss accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters a cache accumulates as it is exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read (or fetch) accesses that hit.
+    pub read_hits: u64,
+    /// Read (or fetch) accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed (write-allocate fills).
+    pub write_misses: u64,
+    /// Dirty evictions (write-backs produced).
+    pub writebacks: u64,
+    /// Blocks invalidated externally (inclusion or page replacement).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 for an untouched cache.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.read_hits += rhs.read_hits;
+        self.read_misses += rhs.read_misses;
+        self.write_hits += rhs.write_hits;
+        self.write_misses += rhs.write_misses;
+        self.writebacks += rhs.writebacks;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.3}%), {} writebacks",
+            self.accesses(),
+            self.misses(),
+            100.0 * self.miss_ratio(),
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let s = CacheStats {
+            read_hits: 90,
+            read_misses: 10,
+            write_hits: 45,
+            write_misses: 5,
+            writebacks: 3,
+            invalidations: 1,
+        };
+        assert_eq!(s.accesses(), 150);
+        assert_eq!(s.hits(), 135);
+        assert_eq!(s.misses(), 15);
+        assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratio() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = CacheStats {
+            read_hits: 1,
+            ..Default::default()
+        };
+        a += CacheStats {
+            read_hits: 2,
+            writebacks: 4,
+            ..Default::default()
+        };
+        assert_eq!(a.read_hits, 3);
+        assert_eq!(a.writebacks, 4);
+    }
+}

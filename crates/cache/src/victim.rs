@@ -1,0 +1,202 @@
+//! Jouppi-style victim cache.
+
+use crate::addr::PhysAddr;
+use crate::cache::Eviction;
+
+/// A small fully-associative buffer of recently evicted blocks.
+///
+/// §3.2 of the paper lists the victim cache (Jouppi 1990) among hardware
+/// techniques that reduce conflict misses without slowing hits, and notes
+/// that RAMpage can obtain the same effect in software via a standby page
+/// list (implemented in `rampage-vm`). This hardware version backs the
+/// ablation study comparing the two.
+///
+/// Blocks enter on eviction from the main cache; a hit removes the block
+/// (it is swapped back into the main cache by the caller). FIFO
+/// replacement, as in Jouppi's design.
+#[derive(Debug, Clone)]
+pub struct VictimCache {
+    block_size: u64,
+    capacity: usize,
+    /// FIFO order, oldest first.
+    entries: Vec<Eviction>,
+    hits: u64,
+    misses: u64,
+}
+
+impl VictimCache {
+    /// Create a victim cache of `capacity` blocks of `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `block_size` is not a power of two.
+    pub fn new(capacity: usize, block_size: u64) -> Self {
+        assert!(capacity > 0, "victim cache needs at least one entry");
+        assert!(block_size.is_power_of_two(), "block size");
+        VictimCache {
+            block_size,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Insert a block evicted from the main cache; returns the block
+    /// pushed out of the victim cache, if it overflowed.
+    pub fn insert(&mut self, ev: Eviction) -> Option<Eviction> {
+        let aligned = Eviction {
+            addr: ev.addr.align_down(self.block_size),
+            dirty: ev.dirty,
+        };
+        // Re-inserting an existing block just refreshes dirtiness.
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.addr == aligned.addr)
+        {
+            e.dirty |= aligned.dirty;
+            return None;
+        }
+        self.entries.push(aligned);
+        if self.entries.len() > self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        }
+    }
+
+    /// Look up `addr`; on a hit the block is removed and returned for the
+    /// caller to refill into the main cache.
+    pub fn take(&mut self, addr: PhysAddr) -> Option<Eviction> {
+        let base = addr.align_down(self.block_size);
+        match self.entries.iter().position(|e| e.addr == base) {
+            Some(i) => {
+                self.hits += 1;
+                Some(self.entries.remove(i))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Invalidate the buffered block containing `addr` (inclusion
+    /// maintenance: when the next level evicts a block, any victim-cache
+    /// copy must die with it). Returns the removed block.
+    pub fn invalidate_block(&mut self, addr: PhysAddr) -> Option<Eviction> {
+        let base = addr.align_down(self.block_size);
+        let pos = self.entries.iter().position(|e| e.addr == base)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Invalidate every buffered block in `[base, base + len)`, passing
+    /// each removed block to `on_evict`.
+    pub fn invalidate_region(
+        &mut self,
+        base: PhysAddr,
+        len: u64,
+        mut on_evict: impl FnMut(Eviction),
+    ) {
+        let lo = base.align_down(self.block_size).0;
+        let hi = base.0 + len;
+        self.entries.retain(|e| {
+            let inside = e.addr.0 >= lo && e.addr.0 < hi;
+            if inside {
+                on_evict(*e);
+            }
+            !inside
+        });
+    }
+
+    /// Blocks currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no blocks are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) observed by [`take`](VictimCache::take).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u64, dirty: bool) -> Eviction {
+        Eviction {
+            addr: PhysAddr(addr),
+            dirty,
+        }
+    }
+
+    #[test]
+    fn insert_then_take_hits() {
+        let mut v = VictimCache::new(4, 32);
+        assert_eq!(v.insert(ev(0x100, true)), None);
+        let got = v.take(PhysAddr(0x110)).unwrap(); // same block
+        assert_eq!(got.addr, PhysAddr(0x100));
+        assert!(got.dirty);
+        assert!(v.is_empty());
+        assert_eq!(v.hit_miss(), (1, 0));
+    }
+
+    #[test]
+    fn overflow_evicts_oldest() {
+        let mut v = VictimCache::new(2, 32);
+        assert_eq!(v.insert(ev(0x00, false)), None);
+        assert_eq!(v.insert(ev(0x20, false)), None);
+        let out = v.insert(ev(0x40, false)).unwrap();
+        assert_eq!(out.addr, PhysAddr(0x00), "FIFO discards oldest");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut v = VictimCache::new(2, 32);
+        assert!(v.take(PhysAddr(0)).is_none());
+        assert_eq!(v.hit_miss(), (0, 1));
+    }
+
+    #[test]
+    fn invalidate_block_removes_silently() {
+        let mut v = VictimCache::new(4, 32);
+        v.insert(ev(0x40, true));
+        let got = v.invalidate_block(PhysAddr(0x44)).unwrap();
+        assert_eq!(got.addr, PhysAddr(0x40));
+        assert!(got.dirty);
+        assert!(v.invalidate_block(PhysAddr(0x40)).is_none());
+        // Invalidation is not a lookup: hit/miss counters untouched.
+        assert_eq!(v.hit_miss(), (0, 0));
+    }
+
+    #[test]
+    fn invalidate_region_sweeps_range() {
+        let mut v = VictimCache::new(8, 32);
+        for i in 0..6u64 {
+            v.insert(ev(i * 32, i % 2 == 0));
+        }
+        let mut out = Vec::new();
+        v.invalidate_region(PhysAddr(32), 128, |e| out.push(e)); // blocks 1..5
+        assert_eq!(out.len(), 4);
+        assert_eq!(v.len(), 2, "blocks 0 and 5 survive");
+        assert!(v.take(PhysAddr(0)).is_some());
+        assert!(v.take(PhysAddr(5 * 32)).is_some());
+    }
+
+    #[test]
+    fn reinsert_merges_dirtiness() {
+        let mut v = VictimCache::new(2, 32);
+        v.insert(ev(0x40, false));
+        v.insert(ev(0x40, true));
+        assert_eq!(v.len(), 1);
+        assert!(v.take(PhysAddr(0x40)).unwrap().dirty);
+    }
+}

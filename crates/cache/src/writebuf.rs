@@ -1,0 +1,137 @@
+//! Write-buffer model.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's "perfect write buffering" (§4.3): write hits take zero
+/// effective time because a buffer absorbs them.
+///
+/// The simulator's fast path only needs the *perfect* behaviour, but the
+/// buffer still counts traffic and, when configured with a finite depth,
+/// reports how often a real buffer of that depth would have stalled —
+/// used by the ablation experiments to check the perfect-buffer assumption.
+///
+/// Drain modelling is deliberately simple: each elapsed "drain opportunity"
+/// (reported by the caller via [`drain`](WriteBuffer::drain)) retires one
+/// buffered write.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteBuffer {
+    depth: Option<usize>,
+    occupied: usize,
+    pushes: u64,
+    would_stall: u64,
+    max_occupancy: usize,
+}
+
+impl WriteBuffer {
+    /// A perfect (infinite) write buffer — the paper's model.
+    pub fn perfect() -> Self {
+        WriteBuffer {
+            depth: None,
+            occupied: 0,
+            pushes: 0,
+            would_stall: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// A finite buffer of `depth` entries, for ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_depth(depth: usize) -> Self {
+        assert!(depth > 0, "zero-depth buffer cannot accept writes");
+        WriteBuffer {
+            depth: Some(depth),
+            ..WriteBuffer::perfect()
+        }
+    }
+
+    /// Record a buffered write. Returns `true` if a buffer of the
+    /// configured depth would have had space (always `true` for perfect).
+    pub fn push(&mut self) -> bool {
+        self.pushes += 1;
+        match self.depth {
+            None => {
+                self.occupied += 1;
+                self.max_occupancy = self.max_occupancy.max(self.occupied);
+                true
+            }
+            Some(d) if self.occupied < d => {
+                self.occupied += 1;
+                self.max_occupancy = self.max_occupancy.max(self.occupied);
+                true
+            }
+            Some(_) => {
+                self.would_stall += 1;
+                false
+            }
+        }
+    }
+
+    /// Retire up to `n` buffered writes (idle cycles at the next level).
+    pub fn drain(&mut self, n: usize) {
+        self.occupied = self.occupied.saturating_sub(n);
+    }
+
+    /// Writes currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    /// Peak occupancy seen.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Total writes pushed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// How many pushes found a full finite buffer (0 for perfect).
+    pub fn would_stall(&self) -> u64 {
+        self.would_stall
+    }
+}
+
+impl Default for WriteBuffer {
+    fn default() -> Self {
+        WriteBuffer::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_buffer_never_stalls() {
+        let mut b = WriteBuffer::perfect();
+        for _ in 0..10_000 {
+            assert!(b.push());
+        }
+        assert_eq!(b.would_stall(), 0);
+        assert_eq!(b.pushes(), 10_000);
+        assert_eq!(b.max_occupancy(), 10_000);
+    }
+
+    #[test]
+    fn finite_buffer_reports_stalls() {
+        let mut b = WriteBuffer::with_depth(2);
+        assert!(b.push());
+        assert!(b.push());
+        assert!(!b.push(), "third write finds buffer full");
+        assert_eq!(b.would_stall(), 1);
+        b.drain(1);
+        assert!(b.push());
+    }
+
+    #[test]
+    fn drain_clamps_at_zero() {
+        let mut b = WriteBuffer::with_depth(4);
+        b.push();
+        b.drain(10);
+        assert_eq!(b.occupancy(), 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! System configuration: the paper's §4.3–§4.7 parameters as data.
+
+use crate::time::IssueRate;
+use rampage_cache::{Geometry, ReplacementPolicy};
+use rampage_dram::DramModel;
+use rampage_vm::os::OsCosts;
+use rampage_vm::PageSize;
+use serde::{Deserialize, Serialize};
+
+/// L1 miss penalty to L2 / SRAM main memory, in CPU cycles (§4.3).
+pub const L1_MISS_PENALTY: u64 = 12;
+/// L1 write-back penalty in the RAMpage hierarchy: 9 cycles, "since there
+/// is no L2 tag to update" (§4.3); the conventional hierarchy pays the
+/// full [`L1_MISS_PENALTY`].
+pub const RAMPAGE_WRITEBACK_PENALTY: u64 = 9;
+/// The multiprogramming quantum: "switching to a different trace every
+/// 500,000 references" (§4.2).
+pub const QUANTUM_REFS: u64 = 500_000;
+/// DRAM page size, held constant while the SRAM page size varies (§2.4).
+pub const DRAM_PAGE_SIZE: u64 = 4096;
+/// The L2 cache / SRAM main memory base capacity: 4 MB (§4.4).
+pub const SRAM_BASE_SIZE: u64 = 4 << 20;
+/// Bytes of tag the paper's sizing convention grants per L2 block when
+/// computing the RAMpage SRAM bonus (4 B × 32 K blocks = the paper's
+/// "128 Kbytes larger" at 128-byte blocks, §4.5).
+pub const TAG_BYTES_PER_BLOCK: u64 = 4;
+
+/// Which DRAM timing model a system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramKind {
+    /// Non-pipelined Direct Rambus — the paper's configuration (§4.3).
+    Rambus,
+    /// Pipelined Direct Rambus — the §6.3 future-work ablation.
+    RambusPipelined,
+    /// The §3.3 SDRAM example (128-bit bus at 10 ns) — used to verify the
+    /// paper's claim that it behaves like non-pipelined Rambus.
+    Sdram,
+}
+
+impl DramKind {
+    /// Instantiate the timing model.
+    pub fn model(self) -> DramModel {
+        match self {
+            DramKind::Rambus => DramModel::rambus(),
+            DramKind::RambusPipelined => DramModel::rambus_pipelined(),
+            DramKind::Sdram => DramModel::sdram(),
+        }
+    }
+}
+
+/// L1 cache parameters (each of the I and D caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L1Config {
+    /// Capacity in bytes.
+    pub size: u64,
+    /// Block size in bytes.
+    pub block: u64,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl L1Config {
+    /// The paper's L1: 16 KB, direct-mapped, 32-byte blocks (§4.3).
+    pub fn paper_default() -> Self {
+        L1Config {
+            size: 16 * 1024,
+            block: 32,
+            ways: 1,
+        }
+    }
+
+    /// The §6.3 future-work L1: 64 KB, 2-way.
+    pub fn aggressive() -> Self {
+        L1Config {
+            size: 64 * 1024,
+            block: 32,
+            ways: 2,
+        }
+    }
+
+    /// As a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (construction-time
+    /// validation; presets are always valid).
+    pub fn geometry(&self) -> Geometry {
+        Geometry::new(self.size, self.block, self.ways).expect("invalid L1 configuration")
+    }
+}
+
+/// L2 cache parameters (conventional hierarchy only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L2Config {
+    /// Capacity in bytes (the paper uses 4 MB throughout).
+    pub size: u64,
+    /// Block size in bytes (swept 128 B – 4 KB).
+    pub block: u64,
+    /// Associativity: 1 (baseline) or 2 ("more realistic", §4.7).
+    pub ways: u32,
+    /// Replacement policy (random for the 2-way configuration, §4.7).
+    pub policy: ReplacementPolicy,
+}
+
+impl L2Config {
+    /// The baseline direct-mapped L2 (§4.4).
+    pub fn direct_mapped(block: u64) -> Self {
+        L2Config {
+            size: SRAM_BASE_SIZE,
+            block,
+            ways: 1,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// The 2-way random-replacement L2 (§4.7).
+    pub fn two_way(block: u64) -> Self {
+        L2Config {
+            size: SRAM_BASE_SIZE,
+            block,
+            ways: 2,
+            policy: ReplacementPolicy::Random,
+        }
+    }
+
+    /// As a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent.
+    pub fn geometry(&self) -> Geometry {
+        Geometry::new(self.size, self.block, self.ways).expect("invalid L2 configuration")
+    }
+}
+
+/// RAMpage SRAM-main-memory parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RampageConfig {
+    /// SRAM page size (swept 128 B – 4 KB).
+    pub page_size: PageSize,
+    /// Standby page list capacity (pages); `None` disables the software
+    /// victim-cache extension (the paper's base configuration).
+    pub standby_pages: Option<usize>,
+    /// Sequential next-page prefetch on a fault (§3.2: "Prefetch could
+    /// be added to RAMpage"): the fault handler also brings in the next
+    /// virtual page, queued behind the demand transfer. Off in the
+    /// paper's configuration.
+    pub prefetch_next: bool,
+}
+
+impl RampageConfig {
+    /// The paper's configuration at a given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a valid [`PageSize`].
+    pub fn paper(page_size: u64) -> Self {
+        RampageConfig {
+            page_size: PageSize::new(page_size).expect("invalid RAMpage page size"),
+            standby_pages: None,
+            prefetch_next: false,
+        }
+    }
+
+    /// Total SRAM capacity: 4 MB plus the tag-equivalent bonus, "128
+    /// Kbytes larger (since it does not need tags) ... scaled down for
+    /// larger page sizes" (§4.5).
+    pub fn sram_bytes(&self) -> u64 {
+        let blocks = SRAM_BASE_SIZE / self.page_size.get();
+        SRAM_BASE_SIZE + TAG_BYTES_PER_BLOCK * blocks
+    }
+
+    /// Number of SRAM frames at this page size (whole pages only).
+    pub fn num_frames(&self) -> u32 {
+        (self.sram_bytes() / self.page_size.get()) as u32
+    }
+}
+
+/// TLB parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of sets (1 = fully associative).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// The paper's TLB: 64 entries, fully associative (§4.3).
+    pub fn paper_default() -> Self {
+        TlbConfig { sets: 1, ways: 64 }
+    }
+
+    /// The §6.3 future-work TLB: 1 K entries, 2-way.
+    pub fn large_2way() -> Self {
+        TlbConfig {
+            sets: 512,
+            ways: 2,
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// Which memory system sits below L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HierarchyKind {
+    /// Conventional L2 cache over DRAM.
+    Conventional(L2Config),
+    /// RAMpage SRAM main memory over a DRAM paging device.
+    Rampage(RampageConfig),
+}
+
+impl HierarchyKind {
+    /// The L2 block size or SRAM page size — the x-axis of every figure.
+    pub fn unit_bytes(&self) -> u64 {
+        match self {
+            HierarchyKind::Conventional(l2) => l2.block,
+            HierarchyKind::Rampage(r) => r.page_size.get(),
+        }
+    }
+}
+
+/// A complete simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Instruction issue rate.
+    pub issue: IssueRate,
+    /// L1 instruction and data cache parameters.
+    pub l1: L1Config,
+    /// TLB parameters.
+    pub tlb: TlbConfig,
+    /// The level below L1.
+    pub hierarchy: HierarchyKind,
+    /// Which DRAM device sits behind the memory controller (the paper's
+    /// runs use non-pipelined Direct Rambus; the pipelined variant is the
+    /// §6.3 ablation and SDRAM the §3.3 comparator).
+    pub dram: DramKind,
+    /// Number of independent DRAM channels, interleaved by transfer
+    /// unit. The paper uses one; §3.3 notes more channels raise
+    /// bandwidth without improving latency.
+    pub dram_channels: u32,
+    /// OS handler instruction budgets.
+    pub os_costs: OsCosts,
+    /// References per scheduling quantum (the paper's interleave: a
+    /// fixed 500 000 references regardless of CPU speed).
+    pub quantum: u64,
+    /// Optional *time-based* quantum in simulated picoseconds. When set
+    /// it overrides the reference quantum — the real-time-clock slice the
+    /// paper says a real system would use (§5.5), under which a faster
+    /// CPU executes more references per slice.
+    pub quantum_time: Option<u64>,
+    /// Insert the ~400-reference context-switch trace at quantum
+    /// boundaries (§4.6; Table 4/5 runs enable this).
+    pub switch_trace: bool,
+    /// RAMpage only: take a context switch on a page fault to DRAM,
+    /// overlapping the transfer with another process (§4.6, Table 4).
+    pub switch_on_miss: bool,
+    /// Optional Jouppi victim cache between L1 and the next level
+    /// (entries of L1-block size). `None` — the paper's configuration —
+    /// omits it; §3.2 discusses it as a conflict-miss reducer that does
+    /// not slow hits.
+    pub l1_victim_blocks: Option<usize>,
+    /// Optional finite write-buffer depth. `None` is the paper's
+    /// "perfect write buffering" assumption (§4.3); a finite buffer
+    /// charges a drain stall when a write finds it full, letting the
+    /// ablations check that assumption.
+    pub write_buffer_depth: Option<usize>,
+    /// Classify L2 misses with the 3C taxonomy (conventional hierarchy
+    /// only; diagnostic — costs simulation speed, charges no simulated
+    /// time). The profile lands in `Counters::l2_miss_profile`.
+    pub classify_l2: bool,
+}
+
+impl SystemConfig {
+    fn common(issue: IssueRate, hierarchy: HierarchyKind) -> Self {
+        SystemConfig {
+            issue,
+            l1: L1Config::paper_default(),
+            tlb: TlbConfig::paper_default(),
+            hierarchy,
+            dram: DramKind::Rambus,
+            dram_channels: 1,
+            os_costs: OsCosts::default(),
+            quantum: QUANTUM_REFS,
+            quantum_time: None,
+            switch_trace: false,
+            switch_on_miss: false,
+            l1_victim_blocks: None,
+            write_buffer_depth: None,
+            classify_l2: false,
+        }
+    }
+
+    /// The baseline system: direct-mapped L2 of the given block size
+    /// (§4.4), no context-switch trace.
+    pub fn baseline(issue: IssueRate, l2_block: u64) -> Self {
+        SystemConfig::common(
+            issue,
+            HierarchyKind::Conventional(L2Config::direct_mapped(l2_block)),
+        )
+    }
+
+    /// The "more realistic" system: 2-way L2, context-switch trace
+    /// included (§4.7 / Table 5).
+    pub fn two_way(issue: IssueRate, l2_block: u64) -> Self {
+        let mut cfg = SystemConfig::common(
+            issue,
+            HierarchyKind::Conventional(L2Config::two_way(l2_block)),
+        );
+        cfg.switch_trace = true;
+        cfg
+    }
+
+    /// The RAMpage system at the given SRAM page size (§4.5).
+    pub fn rampage(issue: IssueRate, page_size: u64) -> Self {
+        SystemConfig::common(issue, HierarchyKind::Rampage(RampageConfig::paper(page_size)))
+    }
+
+    /// RAMpage with context switches on misses (§4.6 / Table 4); also
+    /// enables the quantum switch trace.
+    pub fn rampage_switching(issue: IssueRate, page_size: u64) -> Self {
+        let mut cfg = SystemConfig::rampage(issue, page_size);
+        cfg.switch_trace = true;
+        cfg.switch_on_miss = true;
+        cfg
+    }
+
+    /// A short description for reports.
+    pub fn label(&self) -> String {
+        let base = match &self.hierarchy {
+            HierarchyKind::Conventional(l2) if l2.ways == 1 => {
+                format!("DM L2, {} B blocks", l2.block)
+            }
+            HierarchyKind::Conventional(l2) => {
+                format!("{}-way L2, {} B blocks", l2.ways, l2.block)
+            }
+            HierarchyKind::Rampage(r) => format!("RAMpage, {} pages", r.page_size),
+        };
+        let mut s = format!("{base} @ {}", self.issue);
+        if self.switch_on_miss {
+            s.push_str(" +switch-on-miss");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_bonus_matches_paper() {
+        // 128-byte pages: 4 MB + 128 KB (the paper's "4.125 Mbytes").
+        let r = RampageConfig::paper(128);
+        assert_eq!(r.sram_bytes(), (4 << 20) + 128 * 1024);
+        assert_eq!(r.num_frames(), ((4 << 20) + 128 * 1024) / 128);
+        // 4 KB pages: bonus shrinks to 4 KB.
+        let r = RampageConfig::paper(4096);
+        assert_eq!(r.sram_bytes(), (4 << 20) + 4096);
+        assert_eq!(r.num_frames(), 1025);
+    }
+
+    #[test]
+    fn paper_presets() {
+        let b = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        assert!(matches!(b.hierarchy, HierarchyKind::Conventional(l2) if l2.ways == 1));
+        assert!(!b.switch_trace);
+
+        let t = SystemConfig::two_way(IssueRate::GHZ1, 128);
+        assert!(matches!(t.hierarchy, HierarchyKind::Conventional(l2)
+            if l2.ways == 2 && l2.policy == ReplacementPolicy::Random));
+        assert!(t.switch_trace);
+
+        let r = SystemConfig::rampage_switching(IssueRate::GHZ1, 1024);
+        assert!(r.switch_on_miss && r.switch_trace);
+        assert_eq!(r.quantum, 500_000);
+    }
+
+    #[test]
+    fn tlb_presets() {
+        assert_eq!(TlbConfig::paper_default().entries(), 64);
+        assert_eq!(TlbConfig::large_2way().entries(), 1024);
+    }
+
+    #[test]
+    fn l1_presets_are_valid_geometries() {
+        assert_eq!(L1Config::paper_default().geometry().sets(), 512);
+        assert_eq!(L1Config::aggressive().geometry().ways(), 2);
+    }
+
+    #[test]
+    fn unit_bytes_reads_the_sweep_axis() {
+        assert_eq!(
+            SystemConfig::baseline(IssueRate::GHZ1, 256).hierarchy.unit_bytes(),
+            256
+        );
+        assert_eq!(
+            SystemConfig::rampage(IssueRate::GHZ1, 2048).hierarchy.unit_bytes(),
+            2048
+        );
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            SystemConfig::baseline(IssueRate::MHZ200, 128).label(),
+            "DM L2, 128 B blocks @ 200 MHz"
+        );
+        assert!(SystemConfig::rampage_switching(IssueRate::GHZ4, 4096)
+            .label()
+            .contains("switch-on-miss"));
+    }
+}

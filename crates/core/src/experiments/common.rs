@@ -1,0 +1,164 @@
+//! Shared experiment machinery: workloads, cells, sweeps.
+
+use crate::config::SystemConfig;
+use crate::engine::Engine;
+use crate::metrics::LevelFractions;
+use crate::time::IssueRate;
+use rampage_trace::{profiles, TraceSource};
+use serde::{Deserialize, Serialize};
+
+/// The block/page size sweep of every table: 128 B – 4 KB.
+pub const PAPER_SIZES: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+/// The multiprogrammed workload driving a sweep: the first `nbench`
+/// programs of Table 2, each at `1/scale` of its paper reference count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// How many of the 18 Table 2 programs to run.
+    pub nbench: usize,
+    /// Trace-volume divisor (1 = the paper's full 1.1 G references).
+    pub scale: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The full suite at `1/scale` volume.
+    pub fn paper(scale: u64) -> Self {
+        Workload {
+            nbench: profiles::TABLE2.len(),
+            scale,
+            seed: 0x7a9e,
+        }
+    }
+
+    /// A small, fast workload for tests and smoke benches.
+    pub fn quick() -> Self {
+        Workload {
+            nbench: 4,
+            scale: 20_000,
+            seed: 0x7a9e,
+        }
+    }
+
+    /// Build the trace sources.
+    pub fn sources(&self) -> Vec<Box<dyn TraceSource + Send>> {
+        profiles::TABLE2
+            .iter()
+            .take(self.nbench)
+            .map(|p| Box::new(p.source(self.scale, self.seed)) as Box<dyn TraceSource + Send>)
+            .collect()
+    }
+
+    /// Total references this workload will produce.
+    pub fn total_refs(&self) -> u64 {
+        profiles::TABLE2
+            .iter()
+            .take(self.nbench)
+            .map(|p| p.scaled_refs(self.scale))
+            .sum()
+    }
+}
+
+/// One simulated configuration's results — the unit every table and
+/// figure is assembled from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// L2 block size or SRAM page size in bytes.
+    pub unit_bytes: u64,
+    /// Issue rate in MHz.
+    pub issue_mhz: u32,
+    /// Simulated run time in seconds (the paper's headline number).
+    pub seconds: f64,
+    /// Cycles per user reference (scale-independent).
+    pub cycles_per_ref: f64,
+    /// Per-level time fractions (Figures 2/3).
+    pub fractions: LevelFractions,
+    /// Handler-reference overhead ratio (Figure 4).
+    pub overhead: f64,
+    /// Page faults (RAMpage) or DRAM block fetches (conventional).
+    pub dram_events: u64,
+    /// TLB miss ratio.
+    pub tlb_miss_ratio: f64,
+    /// L1 instruction-cache miss ratio.
+    pub l1i_miss_ratio: f64,
+    /// L1 data-cache miss ratio.
+    pub l1d_miss_ratio: f64,
+    /// L2 local miss ratio (conventional; 0 for RAMpage).
+    pub l2_miss_ratio: f64,
+}
+
+/// Run one configuration over a workload and summarize it as a [`Cell`].
+pub fn run_config(cfg: &SystemConfig, workload: &Workload) -> Cell {
+    let mut engine = Engine::new(cfg, workload.sources());
+    let out = engine.run();
+    let m = out.metrics;
+    Cell {
+        unit_bytes: cfg.hierarchy.unit_bytes(),
+        issue_mhz: cfg.issue.mhz(),
+        seconds: out.seconds,
+        cycles_per_ref: m.cycles_per_ref(),
+        fractions: m.time.fractions(),
+        overhead: m.counts.handler_overhead_ratio(),
+        dram_events: m.counts.page_faults + m.counts.dram_block_fetches,
+        tlb_miss_ratio: m.counts.tlb.miss_ratio(),
+        l1i_miss_ratio: m.counts.l1i.miss_ratio(),
+        l1d_miss_ratio: m.counts.l1d.miss_ratio(),
+        l2_miss_ratio: m.counts.l2.miss_ratio(),
+    }
+}
+
+/// Run `make_cfg(issue, size)` over a size sweep at one issue rate.
+pub fn sweep_sizes(
+    make_cfg: impl Fn(IssueRate, u64) -> SystemConfig,
+    issue: IssueRate,
+    sizes: &[u64],
+    workload: &Workload,
+) -> Vec<Cell> {
+    sizes
+        .iter()
+        .map(|&size| run_config(&make_cfg(issue, size), workload))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_presets() {
+        let w = Workload::paper(1000);
+        assert_eq!(w.nbench, 18);
+        assert_eq!(w.sources().len(), 18);
+        // 1.1 G / 1000 ≈ 1.09 M refs.
+        assert!((1_000_000..1_200_000).contains(&w.total_refs()));
+        assert!(Workload::quick().total_refs() < 20_000);
+    }
+
+    #[test]
+    fn run_config_produces_consistent_cell() {
+        let cfg = SystemConfig::rampage(IssueRate::GHZ1, 1024);
+        let cell = run_config(&cfg, &Workload::quick());
+        assert_eq!(cell.unit_bytes, 1024);
+        assert_eq!(cell.issue_mhz, 1000);
+        assert!(cell.seconds > 0.0);
+        assert!(cell.cycles_per_ref >= 1.0 * 0.5, "ifetches alone give ~0.8");
+        assert!(cell.overhead > 0.0, "some handler activity");
+        let f = cell.fractions;
+        let sum = f.l1i + f.l1d + f.l2_sram + f.dram + f.idle;
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to 1, got {sum}");
+    }
+
+    #[test]
+    fn sweep_covers_sizes_in_order() {
+        let cells = sweep_sizes(
+            SystemConfig::baseline,
+            IssueRate::MHZ200,
+            &[128, 4096],
+            &Workload::quick(),
+        );
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].unit_bytes, 128);
+        assert_eq!(cells[1].unit_bytes, 4096);
+    }
+}

@@ -1,0 +1,261 @@
+//! Figures 2, 3 and 4: time-per-level fractions and software overhead.
+//!
+//! All three figures are views over the Table 3 sweep, so they are
+//! computed from a [`Table3`] rather than re-simulated.
+
+use crate::experiments::table3::Table3;
+use crate::report::TableBuilder;
+use serde::{Deserialize, Serialize};
+
+/// One panel of Figure 2/3: per-size level fractions for one system at
+/// one issue rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelPanel {
+    /// Panel title ("direct-mapped L2" / "RAMpage").
+    pub title: String,
+    /// Issue rate in MHz.
+    pub issue_mhz: u32,
+    /// (size, fractions) per swept size.
+    pub bars: Vec<Bar>,
+}
+
+/// One stacked bar.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bar {
+    /// Block/page size in bytes.
+    pub unit_bytes: u64,
+    /// L1i fraction.
+    pub l1i: f64,
+    /// L1d fraction.
+    pub l1d: f64,
+    /// L2 / SRAM main memory fraction.
+    pub l2_sram: f64,
+    /// DRAM fraction.
+    pub dram: f64,
+    /// Idle fraction.
+    pub idle: f64,
+}
+
+/// Figure 2 (200 MHz) or Figure 3 (4 GHz): both panels at one rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelFigure {
+    /// Which figure this is ("Figure 2" / "Figure 3").
+    pub name: String,
+    /// The direct-mapped L2 panel.
+    pub cache_panel: LevelPanel,
+    /// The RAMpage panel.
+    pub rampage_panel: LevelPanel,
+}
+
+/// Extract a level-breakdown figure from a Table 3 sweep at the rate
+/// index closest to `target_mhz`.
+///
+/// # Panics
+///
+/// Panics if the table is empty.
+pub fn level_figure(table: &Table3, target_mhz: u32, name: &str) -> LevelFigure {
+    let idx = nearest_rate(table, target_mhz);
+    let mhz = table.rates_mhz[idx];
+    let to_bars = |cells: &[crate::experiments::Cell]| {
+        cells
+            .iter()
+            .map(|c| Bar {
+                unit_bytes: c.unit_bytes,
+                l1i: c.fractions.l1i,
+                l1d: c.fractions.l1d,
+                l2_sram: c.fractions.l2_sram,
+                dram: c.fractions.dram,
+                idle: c.fractions.idle,
+            })
+            .collect()
+    };
+    LevelFigure {
+        name: name.to_string(),
+        cache_panel: LevelPanel {
+            title: "direct-mapped L2".into(),
+            issue_mhz: mhz,
+            bars: to_bars(&table.baseline[idx]),
+        },
+        rampage_panel: LevelPanel {
+            title: "RAMpage".into(),
+            issue_mhz: mhz,
+            bars: to_bars(&table.rampage[idx]),
+        },
+    }
+}
+
+fn nearest_rate(table: &Table3, target_mhz: u32) -> usize {
+    table
+        .rates_mhz
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &m)| m.abs_diff(target_mhz))
+        .map(|(i, _)| i)
+        .expect("table has rates")
+}
+
+impl LevelFigure {
+    /// Render both panels as fraction tables plus ASCII stacked bars
+    /// (the shape the paper's Figures 2/3 actually have).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: fraction of simulated run time in each level, {} MHz issue rate\n",
+            self.name, self.cache_panel.issue_mhz
+        );
+        for panel in [&self.cache_panel, &self.rampage_panel] {
+            let mut t = TableBuilder::new(vec![
+                "size".into(),
+                "L1i".into(),
+                "L1d".into(),
+                "L2/SRAM".into(),
+                "DRAM".into(),
+                "idle".into(),
+            ]);
+            for b in &panel.bars {
+                t.row(vec![
+                    b.unit_bytes.to_string(),
+                    pct(b.l1i),
+                    pct(b.l1d),
+                    pct(b.l2_sram),
+                    pct(b.dram),
+                    pct(b.idle),
+                ]);
+            }
+            out.push_str(&format!("\n({})\n{}", panel.title, t.render()));
+            out.push_str(&render_bars(&panel.bars));
+        }
+        out.push_str("\nlegend: i = L1i, d = L1d, S = L2/SRAM, D = DRAM, . = idle\n");
+        out
+    }
+}
+
+/// One 50-character stacked bar per size.
+fn render_bars(bars: &[Bar]) -> String {
+    const WIDTH: usize = 50;
+    let mut out = String::new();
+    for b in bars {
+        // Largest-remainder apportionment of WIDTH cells over the levels.
+        let fracs = [b.l1i, b.l1d, b.l2_sram, b.dram, b.idle];
+        let glyphs = ['i', 'd', 'S', 'D', '.'];
+        let mut cells: Vec<usize> = fracs.iter().map(|f| (f * WIDTH as f64) as usize).collect();
+        while cells.iter().sum::<usize>() < WIDTH {
+            let (imax, _) = fracs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f * WIDTH as f64 - cells[i] as f64))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("five levels");
+            cells[imax] += 1;
+        }
+        let bar: String = cells
+            .iter()
+            .zip(glyphs)
+            .flat_map(|(&n, g)| std::iter::repeat_n(g, n))
+            .collect();
+        out.push_str(&format!("{:>5} |{}|\n", b.unit_bytes, bar));
+    }
+    out
+}
+
+fn pct(f: f64) -> String {
+    format!("{:.1}%", 100.0 * f)
+}
+
+/// Figure 4: TLB-miss and page-fault handling overhead (extra handler
+/// references as a fraction of trace references) per size, for both
+/// systems.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4 {
+    /// Sizes swept.
+    pub sizes: Vec<u64>,
+    /// Conventional-hierarchy overhead per size (flat: the DRAM page size
+    /// is fixed, so the TLB sees the same pages regardless of block size).
+    pub baseline: Vec<f64>,
+    /// RAMpage overhead per size (falls steeply as pages grow).
+    pub rampage: Vec<f64>,
+}
+
+/// Extract Figure 4 from a Table 3 sweep (overhead is issue-rate
+/// independent; the slowest rate's row is used).
+pub fn figure4(table: &Table3) -> Figure4 {
+    Figure4 {
+        sizes: table.sizes.clone(),
+        baseline: table.baseline[0].iter().map(|c| c.overhead).collect(),
+        rampage: table.rampage[0].iter().map(|c| c.overhead).collect(),
+    }
+}
+
+impl Figure4 {
+    /// Render as a two-row table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["system".into()];
+        header.extend(self.sizes.iter().map(|s| s.to_string()));
+        let mut t = TableBuilder::new(header);
+        let mut row = vec!["conventional".to_string()];
+        row.extend(self.baseline.iter().map(|o| format!("{:.1}%", 100.0 * o)));
+        t.row(row);
+        let mut row = vec!["RAMpage".to_string()];
+        row.extend(self.rampage.iter().map(|o| format!("{:.1}%", 100.0 * o)));
+        t.row(row);
+        format!(
+            "Figure 4: TLB miss + page fault handling overhead (handler refs / trace refs)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::common::Workload;
+    use crate::experiments::table3;
+    use crate::time::IssueRate;
+
+    fn small_table() -> Table3 {
+        table3::run(
+            &Workload::quick(),
+            &[IssueRate::MHZ200, IssueRate::GHZ4],
+            &[128, 4096],
+        )
+    }
+
+    #[test]
+    fn level_figures_extract_panels() {
+        let t = small_table();
+        let f2 = level_figure(&t, 200, "Figure 2");
+        assert_eq!(f2.cache_panel.issue_mhz, 200);
+        assert_eq!(f2.cache_panel.bars.len(), 2);
+        let f3 = level_figure(&t, 4000, "Figure 3");
+        assert_eq!(f3.rampage_panel.issue_mhz, 4000);
+        assert!(f3.render().contains("RAMpage"));
+    }
+
+    #[test]
+    fn stacked_bars_are_exactly_full_width() {
+        let t = small_table();
+        let f = level_figure(&t, 200, "Figure 2");
+        let rendered = f.render();
+        for line in rendered.lines().filter(|l| l.contains('|')) {
+            let bar: String = line
+                .chars()
+                .skip_while(|&c| c != '|')
+                .skip(1)
+                .take_while(|&c| c != '|')
+                .collect();
+            assert_eq!(bar.len(), 50, "bar width in {line:?}");
+            assert!(bar.chars().all(|c| "idSD.".contains(c)), "glyphs in {line:?}");
+        }
+        assert!(rendered.contains("legend"));
+    }
+
+    #[test]
+    fn figure4_extracts_overheads() {
+        let t = small_table();
+        let f4 = figure4(&t);
+        assert_eq!(f4.sizes, vec![128, 4096]);
+        assert!(f4.rampage[0] > f4.rampage[1],
+            "RAMpage overhead falls with page size: {} vs {}",
+            f4.rampage[0], f4.rampage[1]);
+        assert!(f4.render().contains("Figure 4"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Table 2: the benchmark suite.
+
+use crate::report::TableBuilder;
+use rampage_trace::profiles::{self, Profile};
+
+/// Render the suite exactly as the paper's Table 2 lists it (program,
+/// description, millions of instruction fetches, millions of references),
+/// plus our synthetic workload class.
+pub fn render() -> String {
+    let mut t = TableBuilder::new(vec![
+        "program".into(),
+        "description".into(),
+        "Minstr".into(),
+        "Mrefs".into(),
+        "synthetic class".into(),
+    ]);
+    for p in &profiles::TABLE2 {
+        t.row(vec![
+            p.name.to_string(),
+            p.description.to_string(),
+            format!("{:.1}", p.instr_millions),
+            format!("{:.1}", p.refs_millions),
+            class_name(p),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        String::new(),
+        format!(
+            "{:.1}",
+            profiles::TABLE2.iter().map(|p| p.instr_millions).sum::<f64>()
+        ),
+        format!("{:.1}", profiles::table2_total_refs_millions()),
+        String::new(),
+    ]);
+    format!(
+        "Table 2: address traces (synthetic reproduction of the Tracebase suite)\n{}",
+        t.render()
+    )
+}
+
+fn class_name(p: &Profile) -> String {
+    use rampage_trace::profiles::WorkloadClass::*;
+    match p.class {
+        FpStream { .. } => "fp-stream".into(),
+        FpLoop { .. } => "fp-loop".into(),
+        IntBranchy { .. } => "int-branchy".into(),
+        Stream { .. } => "stream".into(),
+        PointerHeavy { .. } => "pointer-heavy".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_programs_and_total() {
+        let s = super::render();
+        assert!(s.contains("alvinn"));
+        assert!(s.contains("yacc"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("1093.1"), "1.1 G references total");
+    }
+}

@@ -1,0 +1,154 @@
+//! Table 3: baseline direct-mapped L2 vs RAMpage, across block/page
+//! sizes and issue rates.
+
+use crate::config::SystemConfig;
+use crate::experiments::common::{run_config, Cell, Workload, PAPER_SIZES};
+use crate::report::TableBuilder;
+use crate::time::IssueRate;
+use serde::{Deserialize, Serialize};
+
+/// The full Table 3 sweep: for each issue rate, a row of baseline cells
+/// and a row of RAMpage cells across the size sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Block/page sizes swept (columns).
+    pub sizes: Vec<u64>,
+    /// Issue rates swept (row pairs).
+    pub rates_mhz: Vec<u32>,
+    /// `baseline[rate][size]`.
+    pub baseline: Vec<Vec<Cell>>,
+    /// `rampage[rate][size]`.
+    pub rampage: Vec<Vec<Cell>>,
+}
+
+/// Run the Table 3 sweep.
+pub fn run(workload: &Workload, rates: &[IssueRate], sizes: &[u64]) -> Table3 {
+    let mut baseline = Vec::new();
+    let mut rampage = Vec::new();
+    for &rate in rates {
+        baseline.push(
+            sizes
+                .iter()
+                .map(|&s| run_config(&SystemConfig::baseline(rate, s), workload))
+                .collect(),
+        );
+        rampage.push(
+            sizes
+                .iter()
+                .map(|&s| run_config(&SystemConfig::rampage(rate, s), workload))
+                .collect(),
+        );
+    }
+    Table3 {
+        sizes: sizes.to_vec(),
+        rates_mhz: rates.iter().map(|r| r.mhz()).collect(),
+        baseline,
+        rampage,
+    }
+}
+
+/// Run with the paper's sweep (all six sizes, 200 MHz – 4 GHz).
+pub fn run_paper(workload: &Workload) -> Table3 {
+    run(workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
+}
+
+impl Table3 {
+    /// Best (minimum) simulated time for a rate row, with its size.
+    fn best(cells: &[Cell]) -> (u64, f64) {
+        cells
+            .iter()
+            .map(|c| (c.unit_bytes, c.seconds))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("rows are non-empty")
+    }
+
+    /// Best baseline time at a rate index.
+    pub fn best_baseline(&self, rate_idx: usize) -> (u64, f64) {
+        Self::best(&self.baseline[rate_idx])
+    }
+
+    /// Best RAMpage time at a rate index.
+    pub fn best_rampage(&self, rate_idx: usize) -> (u64, f64) {
+        Self::best(&self.rampage[rate_idx])
+    }
+
+    /// RAMpage's best-case advantage over the baseline at a rate index:
+    /// `baseline_best / rampage_best - 1` (the paper quotes 6 % at
+    /// 200 MHz and 26 % at 4 GHz).
+    pub fn rampage_advantage(&self, rate_idx: usize) -> f64 {
+        let (_, b) = self.best_baseline(rate_idx);
+        let (_, r) = self.best_rampage(rate_idx);
+        b / r - 1.0
+    }
+
+    /// Render in the paper's shape: one row pair (cache over RAMpage) per
+    /// issue rate.
+    pub fn render(&self) -> String {
+        let mut header = vec!["issue rate".into(), "system".into()];
+        header.extend(self.sizes.iter().map(|s| s.to_string()));
+        let mut t = TableBuilder::new(header);
+        for (i, &mhz) in self.rates_mhz.iter().enumerate() {
+            let rate = fmt_rate(mhz);
+            let mut row = vec![rate.clone(), "DM cache".into()];
+            row.extend(self.baseline[i].iter().map(|c| format!("{:.3}", c.seconds)));
+            t.row(row);
+            let mut row = vec![String::new(), "RAMpage".into()];
+            row.extend(self.rampage[i].iter().map(|c| format!("{:.3}", c.seconds)));
+            t.row(row);
+        }
+        let mut out = format!(
+            "Table 3: elapsed simulated time (s), baseline DM L2 (top) vs RAMpage (bottom)\n{}",
+            t.render()
+        );
+        for (i, &mhz) in self.rates_mhz.iter().enumerate() {
+            let (bs, bt) = self.best_baseline(i);
+            let (rs, rt) = self.best_rampage(i);
+            out.push_str(&format!(
+                "{}: best DM {bt:.3}s @ {bs} B; best RAMpage {rt:.3}s @ {rs} B; RAMpage advantage {:.1}%\n",
+                fmt_rate(mhz),
+                100.0 * self.rampage_advantage(i)
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_rate(mhz: u32) -> String {
+    if mhz >= 1000 && mhz.is_multiple_of(1000) {
+        format!("{} GHz", mhz / 1000)
+    } else {
+        format!("{mhz} MHz")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_has_expected_shape() {
+        let w = Workload::quick();
+        let t = run(&w, &[IssueRate::MHZ200, IssueRate::GHZ4], &[256, 4096]);
+        assert_eq!(t.baseline.len(), 2);
+        assert_eq!(t.rampage[0].len(), 2);
+        let s = t.render();
+        assert!(s.contains("DM cache"));
+        assert!(s.contains("RAMpage"));
+        assert!(s.contains("advantage"));
+        // Every cell simulated something.
+        for row in t.baseline.iter().chain(t.rampage.iter()) {
+            for c in row {
+                assert!(c.seconds > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn best_picks_minimum() {
+        let w = Workload::quick();
+        let t = run(&w, &[IssueRate::GHZ1], &[128, 1024]);
+        let (size, secs) = t.best_rampage(0);
+        assert!(t.rampage[0].iter().all(|c| c.seconds >= secs));
+        assert!(size == 128 || size == 1024);
+    }
+}

@@ -1,0 +1,126 @@
+//! Table 4: RAMpage with context switches on misses.
+
+use crate::config::SystemConfig;
+use crate::experiments::common::{run_config, Cell, Workload};
+use crate::experiments::table3::Table3;
+use crate::report::TableBuilder;
+use crate::time::IssueRate;
+use serde::{Deserialize, Serialize};
+
+/// The Table 4 sweep: RAMpage with `switch_on_miss` (and the quantum
+/// switch trace), plus the speedup over plain RAMpage from Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4 {
+    /// Page sizes swept.
+    pub sizes: Vec<u64>,
+    /// Issue rates swept (MHz).
+    pub rates_mhz: Vec<u32>,
+    /// `cells[rate][size]` — RAMpage with switch-on-miss.
+    pub cells: Vec<Vec<Cell>>,
+    /// `speedup[rate][size]` — paper's "vs. no switch" numbers:
+    /// `t_noswitch / t_switch` (>1 means switching on misses won).
+    pub speedup: Vec<Vec<f64>>,
+}
+
+/// Run the sweep. `baseline` must be a Table 3 computed over the same
+/// workload, rates and sizes (its RAMpage half provides the "no switch"
+/// reference times).
+///
+/// # Panics
+///
+/// Panics if the shapes of `baseline` and the requested sweep differ.
+pub fn run(workload: &Workload, baseline: &Table3) -> Table4 {
+    let sizes = baseline.sizes.clone();
+    let rates_mhz = baseline.rates_mhz.clone();
+    let mut cells = Vec::new();
+    let mut speedup = Vec::new();
+    for (ri, &mhz) in rates_mhz.iter().enumerate() {
+        let rate = IssueRate::from_mhz(mhz);
+        let row: Vec<Cell> = sizes
+            .iter()
+            .map(|&s| run_config(&SystemConfig::rampage_switching(rate, s), workload))
+            .collect();
+        let sp: Vec<f64> = row
+            .iter()
+            .zip(&baseline.rampage[ri])
+            .map(|(with, without)| without.seconds / with.seconds)
+            .collect();
+        cells.push(row);
+        speedup.push(sp);
+    }
+    Table4 {
+        sizes,
+        rates_mhz,
+        cells,
+        speedup,
+    }
+}
+
+impl Table4 {
+    /// Best time and its page size at a rate index.
+    pub fn best(&self, rate_idx: usize) -> (u64, f64) {
+        self.cells[rate_idx]
+            .iter()
+            .map(|c| (c.unit_bytes, c.seconds))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("rows are non-empty")
+    }
+
+    /// Best speedup over no-switch RAMpage at a rate index (paper: up to
+    /// 16 % at 4 GHz).
+    pub fn best_speedup(&self, rate_idx: usize) -> f64 {
+        self.speedup[rate_idx]
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Render run times with speedups underneath, as in the paper.
+    pub fn render(&self) -> String {
+        let mut header = vec!["issue rate".into(), String::new()];
+        header.extend(self.sizes.iter().map(|s| s.to_string()));
+        let mut t = TableBuilder::new(header);
+        for (i, &mhz) in self.rates_mhz.iter().enumerate() {
+            let mut row = vec![fmt_rate(mhz), "time (s)".into()];
+            row.extend(self.cells[i].iter().map(|c| format!("{:.3}", c.seconds)));
+            t.row(row);
+            let mut row = vec![String::new(), "vs. no switch".into()];
+            row.extend(self.speedup[i].iter().map(|s| format!("{s:.3}x")));
+            t.row(row);
+        }
+        format!(
+            "Table 4: RAMpage with context switches on misses\n{}",
+            t.render()
+        )
+    }
+}
+
+fn fmt_rate(mhz: u32) -> String {
+    if mhz >= 1000 && mhz.is_multiple_of(1000) {
+        format!("{} GHz", mhz / 1000)
+    } else {
+        format!("{mhz} MHz")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::table3;
+
+    #[test]
+    fn sweep_and_speedup_shapes() {
+        let w = Workload::quick();
+        let base = table3::run(&w, &[IssueRate::GHZ4], &[1024, 4096]);
+        let t4 = run(&w, &base);
+        assert_eq!(t4.cells.len(), 1);
+        assert_eq!(t4.speedup[0].len(), 2);
+        for &s in &t4.speedup[0] {
+            assert!(s > 0.0, "speedups are positive ratios");
+        }
+        let (size, secs) = t4.best(0);
+        assert!(secs > 0.0);
+        assert!(size == 1024 || size == 4096);
+        assert!(t4.render().contains("vs. no switch"));
+    }
+}

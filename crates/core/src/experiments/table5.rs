@@ -1,0 +1,90 @@
+//! Table 5: the "more realistic" 2-way associative L2 with context
+//! switches.
+
+use crate::config::SystemConfig;
+use crate::experiments::common::{run_config, Cell, Workload};
+use crate::report::TableBuilder;
+use crate::time::IssueRate;
+use serde::{Deserialize, Serialize};
+
+/// The Table 5 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    /// Block sizes swept.
+    pub sizes: Vec<u64>,
+    /// Issue rates swept (MHz).
+    pub rates_mhz: Vec<u32>,
+    /// `cells[rate][size]`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+/// Run the sweep: 2-way random-replacement L2, context-switch trace at
+/// quantum boundaries (but no switches on misses — §4.7).
+pub fn run(workload: &Workload, rates: &[IssueRate], sizes: &[u64]) -> Table5 {
+    let cells = rates
+        .iter()
+        .map(|&rate| {
+            sizes
+                .iter()
+                .map(|&s| run_config(&SystemConfig::two_way(rate, s), workload))
+                .collect()
+        })
+        .collect();
+    Table5 {
+        sizes: sizes.to_vec(),
+        rates_mhz: rates.iter().map(|r| r.mhz()).collect(),
+        cells,
+    }
+}
+
+impl Table5 {
+    /// Best time and its block size at a rate index.
+    pub fn best(&self, rate_idx: usize) -> (u64, f64) {
+        self.cells[rate_idx]
+            .iter()
+            .map(|c| (c.unit_bytes, c.seconds))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("rows are non-empty")
+    }
+
+    /// Render like the paper: one row per issue rate.
+    pub fn render(&self) -> String {
+        let mut header = vec!["issue rate".into()];
+        header.extend(self.sizes.iter().map(|s| s.to_string()));
+        let mut t = TableBuilder::new(header);
+        for (i, &mhz) in self.rates_mhz.iter().enumerate() {
+            let mut row = vec![fmt_rate(mhz)];
+            row.extend(self.cells[i].iter().map(|c| format!("{:.3}", c.seconds)));
+            t.row(row);
+        }
+        format!(
+            "Table 5: run times (s), 2-way associative L2 with context switches\n{}",
+            t.render()
+        )
+    }
+}
+
+fn fmt_rate(mhz: u32) -> String {
+    if mhz >= 1000 && mhz.is_multiple_of(1000) {
+        format!("{} GHz", mhz / 1000)
+    } else {
+        format!("{mhz} MHz")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape_and_render() {
+        let w = Workload::quick();
+        let t = run(&w, &[IssueRate::MHZ200], &[256, 2048]);
+        assert_eq!(t.cells.len(), 1);
+        assert_eq!(t.cells[0].len(), 2);
+        assert!(t.cells[0][0].seconds > 0.0);
+        let (_, best) = t.best(0);
+        assert!(best <= t.cells[0][0].seconds);
+        assert!(t.render().contains("2-way"));
+    }
+}

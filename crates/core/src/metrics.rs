@@ -1,0 +1,250 @@
+//! Simulated-time accounting and event counters.
+
+use crate::time::IssueRate;
+use rampage_cache::{CacheStats, MissProfile};
+use rampage_vm::TlbStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulated cycles attributed to each level of the hierarchy — the
+/// quantity behind the paper's Figures 2 and 3.
+///
+/// Attribution follows the figures' captions: "L1i time includes hits
+/// (instruction fetches) and time to maintain inclusion"; "L1d traffic is
+/// a very low fraction because hits are assumed to be fully pipelined; the
+/// 'L1d' time accounted for is purely that taken to maintain inclusion."
+/// Software-handler references are charged to whichever level serves them,
+/// exactly as they would be on real hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Instruction-fetch issue cycles plus L1i inclusion/invalidation
+    /// probes.
+    pub l1i_cycles: u64,
+    /// L1d inclusion/invalidation probe cycles (hits are free).
+    pub l1d_cycles: u64,
+    /// Cycles serviced by the L2 cache or the RAMpage SRAM main memory
+    /// (12-cycle miss services, write-backs from L1).
+    pub l2_sram_cycles: u64,
+    /// Cycles stalled on DRAM transfers (block fetches, page transfers,
+    /// write-backs).
+    pub dram_cycles: u64,
+    /// Cycles with no runnable process (switch-on-miss only: everyone
+    /// blocked on DRAM).
+    pub idle_cycles: u64,
+}
+
+impl TimeBreakdown {
+    /// Total simulated cycles.
+    pub fn total(&self) -> u64 {
+        self.l1i_cycles + self.l1d_cycles + self.l2_sram_cycles + self.dram_cycles + self.idle_cycles
+    }
+
+    /// Per-level fractions of total time (all zero for an empty run).
+    pub fn fractions(&self) -> LevelFractions {
+        let t = self.total();
+        if t == 0 {
+            return LevelFractions::default();
+        }
+        let t = t as f64;
+        LevelFractions {
+            l1i: self.l1i_cycles as f64 / t,
+            l1d: self.l1d_cycles as f64 / t,
+            l2_sram: self.l2_sram_cycles as f64 / t,
+            dram: self.dram_cycles as f64 / t,
+            idle: self.idle_cycles as f64 / t,
+        }
+    }
+}
+
+/// [`TimeBreakdown`] as fractions — one bar of Figure 2 / Figure 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelFractions {
+    /// L1 instruction cache (fetch issue + inclusion).
+    pub l1i: f64,
+    /// L1 data cache (inclusion only).
+    pub l1d: f64,
+    /// L2 cache or SRAM main memory.
+    pub l2_sram: f64,
+    /// DRAM.
+    pub dram: f64,
+    /// Idle (switch-on-miss with no ready process).
+    pub idle: f64,
+}
+
+/// Event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// References consumed from the benchmark traces.
+    pub user_refs: u64,
+    /// Of which instruction fetches.
+    pub user_ifetches: u64,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics (conventional hierarchy; zero for RAMpage).
+    pub l2: CacheStats,
+    /// TLB statistics.
+    pub tlb: TlbStats,
+    /// Page faults from the SRAM main memory to DRAM (RAMpage), i.e.
+    /// DRAM page transfers in.
+    pub page_faults: u64,
+    /// Faults served from the standby list without a DRAM transfer.
+    pub soft_faults: u64,
+    /// DRAM block fetches (conventional L2 misses).
+    pub dram_block_fetches: u64,
+    /// DRAM write-backs (dirty L2 blocks / dirty SRAM pages).
+    pub dram_writebacks: u64,
+    /// References executed by the TLB-refill handler.
+    pub tlb_handler_refs: u64,
+    /// References executed by the page-fault handler.
+    pub fault_handler_refs: u64,
+    /// References executed by context-switch code.
+    pub switch_refs: u64,
+    /// Scheduled (quantum / trace-end) context switches taken.
+    pub context_switches: u64,
+    /// Context switches taken on a miss to DRAM (RAMpage, Table 4).
+    pub switches_on_miss: u64,
+    /// L1 probes performed to maintain inclusion / page invalidation.
+    pub inclusion_probes: u64,
+    /// Misses served by the optional victim cache (swap-backs).
+    pub victim_hits: u64,
+    /// Writes that found the optional finite write buffer full.
+    pub write_buffer_stalls: u64,
+    /// 3C classification of L2 misses (all-zero unless
+    /// `SystemConfig::classify_l2` is set).
+    pub l2_miss_profile: MissProfile,
+    /// RAMpage next-page prefetches issued.
+    pub prefetches: u64,
+    /// Prefetched pages that were referenced before being replaced.
+    pub prefetches_useful: u64,
+}
+
+impl Counters {
+    /// Figure 4's measure: "the ratio of additional TLB miss and page
+    /// fault handling references to the total number of references in the
+    /// benchmark trace files."
+    pub fn handler_overhead_ratio(&self) -> f64 {
+        if self.user_refs == 0 {
+            return 0.0;
+        }
+        (self.tlb_handler_refs + self.fault_handler_refs) as f64 / self.user_refs as f64
+    }
+}
+
+/// Everything a run accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Per-level simulated time.
+    pub time: TimeBreakdown,
+    /// Event counters.
+    pub counts: Counters,
+}
+
+impl Metrics {
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.time.total()
+    }
+
+    /// Simulated wall-clock seconds at the given issue rate — the
+    /// quantity in the paper's Tables 3–5.
+    pub fn simulated_seconds(&self, issue: IssueRate) -> f64 {
+        issue.cycles_to_secs(self.total_cycles())
+    }
+
+    /// Cycles per user reference (a scale-independent efficiency view).
+    pub fn cycles_per_ref(&self) -> f64 {
+        if self.counts.user_refs == 0 {
+            return 0.0;
+        }
+        self.total_cycles() as f64 / self.counts.user_refs as f64
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fr = self.time.fractions();
+        write!(
+            f,
+            "{} cycles over {} refs ({:.3} cpr) | L1i {:.1}% L1d {:.1}% L2/SRAM {:.1}% DRAM {:.1}% idle {:.1}% | {} faults, TLB miss ratio {:.4}",
+            self.total_cycles(),
+            self.counts.user_refs,
+            self.cycles_per_ref(),
+            100.0 * fr.l1i,
+            100.0 * fr.l1d,
+            100.0 * fr.l2_sram,
+            100.0 * fr.dram,
+            100.0 * fr.idle,
+            self.counts.page_faults,
+            self.counts.tlb.miss_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let t = TimeBreakdown {
+            l1i_cycles: 50,
+            l1d_cycles: 10,
+            l2_sram_cycles: 20,
+            dram_cycles: 15,
+            idle_cycles: 5,
+        };
+        assert_eq!(t.total(), 100);
+        let f = t.fractions();
+        assert!((f.l1i - 0.5).abs() < 1e-12);
+        assert!((f.dram - 0.15).abs() < 1e-12);
+        assert!((f.l1i + f.l1d + f.l2_sram + f.dram + f.idle - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        assert_eq!(TimeBreakdown::default().fractions(), LevelFractions::default());
+    }
+
+    #[test]
+    fn handler_overhead_ratio() {
+        let c = Counters {
+            user_refs: 1000,
+            tlb_handler_refs: 300,
+            fault_handler_refs: 200,
+            ..Default::default()
+        };
+        assert!((c.handler_overhead_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(Counters::default().handler_overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn simulated_seconds_uses_issue_rate() {
+        let m = Metrics {
+            time: TimeBreakdown {
+                l1i_cycles: 2_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // 2 M cycles: 10 ms at 200 MHz, 0.5 ms at 4 GHz.
+        assert!((m.simulated_seconds(IssueRate::MHZ200) - 0.01).abs() < 1e-9);
+        assert!((m.simulated_seconds(IssueRate::GHZ4) - 0.0005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_per_ref() {
+        let m = Metrics {
+            time: TimeBreakdown {
+                l1i_cycles: 150,
+                ..Default::default()
+            },
+            counts: Counters {
+                user_refs: 100,
+                ..Default::default()
+            },
+        };
+        assert!((m.cycles_per_ref() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// Builds aligned ASCII tables like the ones in the paper.
+///
+/// ```
+/// use rampage_core::TableBuilder;
+/// let mut t = TableBuilder::new(vec!["issue".into(), "128".into(), "256".into()]);
+/// t.row(vec!["200 MHz".into(), "6.38".into(), "6.39".into()]);
+/// let s = t.render();
+/// assert!(s.contains("200 MHz"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Start a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TableBuilder {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (shorter rows are padded with blanks).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns: first column left-aligned, the rest
+    /// right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, row: &[String]| {
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}", w = width[0]);
+                } else {
+                    let _ = write!(out, "  {cell:>w$}", w = width[i]);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format seconds like the paper's tables (two decimals).
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", 100.0 * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableBuilder::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header, rule, two rows");
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TableBuilder::new(vec!["h1".into(), "h2".into(), "h3".into()]);
+        t.row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = TableBuilder::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["r".into()]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(6.3849), "6.38");
+        assert_eq!(fmt_pct(0.256), "25.6%");
+    }
+}

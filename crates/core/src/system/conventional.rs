@@ -1,0 +1,547 @@
+//! The conventional two-level cache hierarchy (paper §4.4, §4.7).
+
+use crate::channel::ChannelSet;
+use crate::config::{
+    HierarchyKind, SystemConfig, DRAM_PAGE_SIZE, L1_MISS_PENALTY,
+};
+use crate::metrics::Metrics;
+use crate::system::{AccessOutcome, MemorySystem};
+use rampage_cache::{Cache, PhysAddr, ReplacementPolicy, ShadowTracker, VictimCache, WriteBuffer};
+use rampage_dram::Picos;
+use rampage_trace::{AccessKind, Asid, TraceRecord, VirtAddr};
+use rampage_vm::os::{HandlerRef, OsLayout, OsModel};
+use rampage_vm::{InvertedPageTable, PageSize, Tlb};
+
+/// DRAM frames modelled (1 GiB of 4 KB pages — "infinite DRAM ... with no
+/// misses to disk", §4.3; exceeding this is a configuration error).
+const DRAM_FRAMES: u32 = 1 << 18;
+
+/// Physical base of the kernel region (code, PCBs, page tables). Placed
+/// far above the user frame space so kernel blocks never collide with
+/// user frames, but still cached normally in L1/L2 — the conventional
+/// hierarchy's TLB-miss handler *can* go all the way to DRAM (§2.3's
+/// contrast).
+const KERNEL_BASE: u64 = 1 << 40;
+
+/// Which software activity a handler run is charged to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HandlerKind {
+    TlbRefill,
+    Switch,
+}
+
+/// The conventional system: L1 I/D → L2 cache → DRAM, with a TLB over
+/// DRAM-physical translations and inclusion maintained between L1 and L2.
+pub struct Conventional {
+    cycle: Picos,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    /// DRAM-level page table (inverted, like the paper, §2.4).
+    page_table: InvertedPageTable,
+    os: OsModel,
+    channel: ChannelSet,
+    handler_buf: Vec<HandlerRef>,
+    l2_block: u64,
+    /// Optional Jouppi victim buffer between L1 and L2 (§3.2 ablation).
+    victim: Option<VictimCache>,
+    /// Write buffer (perfect in the paper's configuration, §4.3).
+    wbuf: WriteBuffer,
+    /// Optional 3C classification of L2 misses.
+    classifier: Option<ShadowTracker>,
+}
+
+impl Conventional {
+    /// Build from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.hierarchy` is not [`HierarchyKind::Conventional`].
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let l2cfg = match cfg.hierarchy {
+            HierarchyKind::Conventional(l2) => l2,
+            HierarchyKind::Rampage(_) => panic!("conventional system given a RAMpage config"),
+        };
+        let dram = cfg.dram.model();
+        let os_layout = OsLayout::at(PhysAddr(KERNEL_BASE));
+        // The page table sits after the OS code + PCBs in kernel space.
+        let table_base = PhysAddr(KERNEL_BASE + (1 << 20));
+        let mut page_table = InvertedPageTable::new(DRAM_FRAMES, table_base);
+        // Realistic OS page placement: the free list is effectively
+        // random, so first-touch allocation scatters pages over the
+        // physical space (the page-placement conflict problem of §3.2's
+        // page-coloring citations). Sequential allocation would be
+        // near-perfect page coloring and flatter the DM baseline.
+        page_table.shuffle_free(0x00a1_10c8);
+        Conventional {
+            cycle: cfg.issue.cycle(),
+            l1i: Cache::new(cfg.l1.geometry(), ReplacementPolicy::Lru),
+            l1d: Cache::new(cfg.l1.geometry(), ReplacementPolicy::Lru),
+            l2: Cache::new(l2cfg.geometry(), l2cfg.policy),
+            tlb: Tlb::new(cfg.tlb.sets, cfg.tlb.ways, 0x71b_5eed),
+            page_table,
+            os: OsModel::new(cfg.os_costs, os_layout),
+            channel: ChannelSet::new(dram, cfg.dram_channels),
+            handler_buf: Vec::with_capacity(1024),
+            l2_block: l2cfg.block,
+            victim: cfg
+                .l1_victim_blocks
+                .map(|n| VictimCache::new(n, cfg.l1.block)),
+            wbuf: cfg
+                .write_buffer_depth
+                .map(WriteBuffer::with_depth)
+                .unwrap_or_default(),
+            classifier: cfg.classify_l2.then(|| {
+                ShadowTracker::new(l2cfg.geometry().blocks() as usize, l2cfg.block)
+            }),
+        }
+    }
+
+    /// The DRAM page size used for translation.
+    fn dram_page(&self) -> PageSize {
+        PageSize::new(DRAM_PAGE_SIZE).expect("constant is valid")
+    }
+
+    /// Service a block from L2 (and DRAM below it). Returns stall cycles.
+    /// `now` is the absolute time the reference started stalling.
+    fn l2_service(&mut self, pa: PhysAddr, now: Picos, m: &mut Metrics) -> u64 {
+        // L1 miss penalty covers the L2 tag check + transfer to L1.
+        let mut stall = L1_MISS_PENALTY;
+        m.time.l2_sram_cycles += L1_MISS_PENALTY;
+        let res = self.l2.access(pa, false);
+        if let Some(c) = self.classifier.as_mut() {
+            c.observe(pa, res.hit);
+        }
+        if res.hit {
+            return stall;
+        }
+        // L2 miss: maintain inclusion over the victim, then fetch.
+        if let Some(ev) = res.eviction {
+            let mut victim_dirty = ev.dirty;
+            let mut wb_cycles = 0u64;
+            let mut probes = 0u64;
+            for l1 in [&mut self.l1i, &mut self.l1d] {
+                probes += l1.invalidate_region(ev.addr, self.l2_block, |e| {
+                    if e.dirty {
+                        // Dirty L1 data folds into the outgoing L2 block.
+                        victim_dirty = true;
+                        wb_cycles += L1_MISS_PENALTY;
+                    }
+                });
+            }
+            if let Some(vc) = self.victim.as_mut() {
+                // The victim buffer obeys inclusion too: its blocks are
+                // L2-backed, so the outgoing L2 block sweeps it as well.
+                vc.invalidate_region(ev.addr, self.l2_block, |e| {
+                    if e.dirty {
+                        victim_dirty = true;
+                        wb_cycles += L1_MISS_PENALTY;
+                    }
+                });
+            }
+            // Inclusion probes cost one (L1 hit-time) cycle each, split
+            // between the two caches for attribution.
+            m.counts.inclusion_probes += probes;
+            m.time.l1i_cycles += probes / 2;
+            m.time.l1d_cycles += probes - probes / 2;
+            m.time.l2_sram_cycles += wb_cycles;
+            stall += probes + wb_cycles;
+            if victim_dirty {
+                let at = now + Picos(stall * self.cycle.0);
+                let tr = self.channel.request(at, self.l2_block, ev.addr.block_number(self.l2_block));
+                let wb_stall = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
+                m.time.dram_cycles += wb_stall;
+                m.counts.dram_writebacks += 1;
+                stall += wb_stall;
+            }
+        }
+        // Fetch the needed block from DRAM.
+        let at = now + Picos(stall * self.cycle.0);
+        let tr = self
+            .channel
+            .request(at, self.l2_block, pa.block_number(self.l2_block));
+        let fetch_stall = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
+        m.time.dram_cycles += fetch_stall;
+        m.counts.dram_block_fetches += 1;
+        stall + fetch_stall
+    }
+
+    /// One physical reference through L1 → L2 → DRAM. Returns stall
+    /// cycles beyond the base issue cycle.
+    fn access_phys(&mut self, pa: PhysAddr, kind: AccessKind, now: Picos, m: &mut Metrics) -> u64 {
+        let l1 = match kind {
+            AccessKind::InstrFetch => &mut self.l1i,
+            _ => &mut self.l1d,
+        };
+        let res = l1.access(pa, kind.is_write());
+        if res.hit {
+            // Read/fetch hits are pipelined. Write hits are absorbed by
+            // the write buffer — perfect (free) in the paper's
+            // configuration; a finite buffer charges a drain stall when
+            // full (the ablation checking §4.3's assumption).
+            if kind.is_write() && !self.wbuf.push() {
+                m.counts.write_buffer_stalls += 1;
+                m.time.l2_sram_cycles += L1_MISS_PENALTY;
+                self.wbuf.drain(1);
+                let ok = self.wbuf.push();
+                debug_assert!(ok, "buffer has space after draining");
+                return L1_MISS_PENALTY;
+            }
+            return 0;
+        }
+        // Victim-cache probe: a swap-back serves the miss in one cycle
+        // without touching L2 (Jouppi's design, §3.2).
+        if let Some(vc) = self.victim.as_mut() {
+            if let Some(hit) = vc.take(pa) {
+                m.counts.victim_hits += 1;
+                m.time.l2_sram_cycles += 1;
+                if hit.dirty {
+                    let l1 = match kind {
+                        AccessKind::InstrFetch => &mut self.l1i,
+                        _ => &mut self.l1d,
+                    };
+                    l1.mark_dirty(pa);
+                }
+                let mut stall = 1;
+                if let Some(ev) = res.eviction {
+                    stall += self.stash_victim(ev, m);
+                }
+                return stall;
+            }
+        }
+        // Write the dirty L1 victim back into L2 *before* the fill: the
+        // fill's L2 eviction might otherwise displace the very block the
+        // victim belongs to. At this point inclusion still holds, so the
+        // write-back must hit (with a victim cache, the displaced block
+        // goes to the buffer instead).
+        let mut stall = 0;
+        if let Some(ev) = res.eviction {
+            if self.victim.is_some() {
+                stall += self.stash_victim(ev, m);
+            } else if ev.dirty {
+                stall += L1_MISS_PENALTY;
+                m.time.l2_sram_cycles += L1_MISS_PENALTY;
+                let wb = self.l2.access(ev.addr, true);
+                debug_assert!(wb.hit, "inclusion guarantees L1 victims are in L2");
+            }
+        }
+        stall += self.l2_service(pa, now, m);
+        // Stall cycles are drain opportunities for the write buffer.
+        self.wbuf.drain((stall / L1_MISS_PENALTY) as usize);
+        stall
+    }
+
+    /// Push an L1 eviction into the victim buffer; an overflowing dirty
+    /// block is written back to L2. Returns stall cycles.
+    fn stash_victim(&mut self, ev: rampage_cache::Eviction, m: &mut Metrics) -> u64 {
+        let vc = self.victim.as_mut().expect("caller checked");
+        let mut stall = 0;
+        if let Some(out) = vc.insert(ev) {
+            if out.dirty {
+                stall += L1_MISS_PENALTY;
+                m.time.l2_sram_cycles += L1_MISS_PENALTY;
+                let wb = self.l2.access(out.addr, true);
+                debug_assert!(wb.hit, "victim blocks stay L2-backed");
+            }
+        }
+        stall
+    }
+
+    /// Run buffered handler references through the hierarchy. Handler
+    /// instruction fetches cost their base cycle too (they are extra
+    /// instructions the CPU must issue).
+    fn run_handler(&mut self, kind: HandlerKind, now: Picos, m: &mut Metrics) -> u64 {
+        let refs = std::mem::take(&mut self.handler_buf);
+        let mut stall = 0u64;
+        for r in &refs {
+            if r.kind == AccessKind::InstrFetch {
+                stall += 1;
+                m.time.l1i_cycles += 1;
+            }
+            let at = now + Picos(stall * self.cycle.0);
+            stall += self.access_phys(r.addr, r.kind, at, m);
+        }
+        match kind {
+            HandlerKind::TlbRefill => m.counts.tlb_handler_refs += refs.len() as u64,
+            HandlerKind::Switch => m.counts.switch_refs += refs.len() as u64,
+        }
+        self.handler_buf = refs;
+        self.handler_buf.clear();
+        stall
+    }
+
+    /// Translate a virtual address, running the TLB-miss handler when
+    /// needed. Returns the physical address and handler stall cycles.
+    fn translate(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        now: Picos,
+        m: &mut Metrics,
+    ) -> (PhysAddr, u64) {
+        let page = self.dram_page();
+        let vpn = page.vpn(va);
+        if let Some(frame) = self.tlb.lookup(asid, vpn) {
+            return (PhysAddr(frame.base_addr(page).0 + page.offset(va)), 0);
+        }
+        // Software refill: probe the page table in (cached) DRAM space.
+        let lk = self.page_table.lookup(asid, vpn);
+        let frame = match lk.frame {
+            Some(f) => f,
+            None => {
+                // First touch: allocate a DRAM frame ("infinite DRAM").
+                let f = self
+                    .page_table
+                    .alloc_free()
+                    .expect("DRAM frame space exhausted; raise DRAM_FRAMES");
+                self.page_table.insert(f, asid, vpn);
+                f
+            }
+        };
+        self.os.tlb_refill(&lk.probe_addrs, &mut self.handler_buf);
+        let stall = self.run_handler(HandlerKind::TlbRefill, now, m);
+        self.tlb.insert(asid, vpn, frame);
+        (PhysAddr(frame.base_addr(page).0 + page.offset(va)), stall)
+    }
+}
+
+impl MemorySystem for Conventional {
+    fn access_user(
+        &mut self,
+        asid: Asid,
+        rec: TraceRecord,
+        now: Picos,
+        m: &mut Metrics,
+    ) -> AccessOutcome {
+        let (pa, mut stall) = self.translate(asid, rec.addr, now, m);
+        let at = now + Picos(stall * self.cycle.0);
+        stall += self.access_phys(pa, rec.kind, at, m);
+        AccessOutcome {
+            stall_cycles: stall,
+            blocked_until: None,
+        }
+    }
+
+    fn run_switch(&mut self, from: usize, to: usize, now: Picos, m: &mut Metrics) -> u64 {
+        self.os.context_switch(from, to, &mut self.handler_buf);
+        self.run_handler(HandlerKind::Switch, now, m)
+    }
+
+    fn finalize(&mut self, m: &mut Metrics) {
+        m.counts.l1i = self.l1i.stats();
+        m.counts.l1d = self.l1d.stats();
+        m.counts.l2 = self.l2.stats();
+        m.counts.tlb = self.tlb.stats();
+        if let Some(c) = &self.classifier {
+            m.counts.l2_miss_profile = c.profile();
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "conventional ({}-way L2, {} B blocks)",
+            self.l2.geometry().ways(),
+            self.l2_block
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::time::IssueRate;
+
+    fn system(block: u64) -> Conventional {
+        Conventional::new(&SystemConfig::baseline(IssueRate::GHZ1, block))
+    }
+
+    fn metrics() -> Metrics {
+        Metrics::default()
+    }
+
+    #[test]
+    fn first_touch_costs_tlb_handler_and_dram() {
+        let mut s = system(128);
+        let mut m = metrics();
+        let out = s.access_user(Asid(1), TraceRecord::read(0x1000), Picos::ZERO, &mut m);
+        assert!(out.stall_cycles > 0, "cold reference must stall");
+        assert!(m.counts.tlb_handler_refs > 0, "TLB refill ran");
+        assert!(m.counts.dram_block_fetches >= 1, "block came from DRAM");
+        assert!(m.time.dram_cycles > 0);
+        assert_eq!(out.blocked_until, None, "conventional never blocks");
+    }
+
+    #[test]
+    fn warm_reference_is_free() {
+        let mut s = system(128);
+        let mut m = metrics();
+        s.access_user(Asid(1), TraceRecord::read(0x1000), Picos::ZERO, &mut m);
+        let out = s.access_user(Asid(1), TraceRecord::read(0x1008), Picos::ZERO, &mut m);
+        assert_eq!(out.stall_cycles, 0, "same block, TLB warm: fully pipelined");
+    }
+
+    #[test]
+    fn l1_miss_l2_hit_costs_12_cycles() {
+        let mut s = system(4096);
+        let mut m = metrics();
+        // Warm the page + L2 block.
+        s.access_user(Asid(1), TraceRecord::read(0x0), Picos::ZERO, &mut m);
+        // 0x800 is in the same 4 KB L2 block and same DRAM page, but a
+        // different L1 block (and maps to a different L1 set).
+        let before_dram = m.counts.dram_block_fetches;
+        let out = s.access_user(Asid(1), TraceRecord::read(0x800), Picos::ZERO, &mut m);
+        assert_eq!(out.stall_cycles, L1_MISS_PENALTY);
+        assert_eq!(m.counts.dram_block_fetches, before_dram, "no DRAM traffic");
+    }
+
+    #[test]
+    fn dram_stall_scales_with_block_size() {
+        let mut small = system(128);
+        let mut big = system(4096);
+        let mut m1 = metrics();
+        let mut m2 = metrics();
+        // Use an address whose page is TLB-warm to isolate the fetch.
+        small.access_user(Asid(1), TraceRecord::read(0x0), Picos::ZERO, &mut m1);
+        big.access_user(Asid(1), TraceRecord::read(0x0), Picos::ZERO, &mut m2);
+        assert!(
+            m2.time.dram_cycles > m1.time.dram_cycles,
+            "4 KB blocks transfer longer than 128 B ({} vs {})",
+            m2.time.dram_cycles,
+            m1.time.dram_cycles
+        );
+    }
+
+    #[test]
+    fn different_asids_do_not_share_tlb_entries() {
+        let mut s = system(128);
+        let mut m = metrics();
+        s.access_user(Asid(1), TraceRecord::read(0x1000), Picos::ZERO, &mut m);
+        let refills_before = m.counts.tlb_handler_refs;
+        s.access_user(Asid(2), TraceRecord::read(0x1000), Picos::ZERO, &mut m);
+        assert!(
+            m.counts.tlb_handler_refs > refills_before,
+            "second ASID needs its own translation"
+        );
+    }
+
+    #[test]
+    fn context_switch_charges_about_400_refs() {
+        let mut s = system(128);
+        let mut m = metrics();
+        let stall = s.run_switch(0, 1, Picos::ZERO, &mut m);
+        assert!(stall > 0);
+        assert!(
+            (390..=410).contains(&m.counts.switch_refs),
+            "switch refs {}",
+            m.counts.switch_refs
+        );
+    }
+
+    #[test]
+    fn inclusion_invalidates_l1_on_l2_eviction() {
+        // Physical page placement is (realistically) shuffled, so force
+        // L2 conflicts statistically: dirty a set of pages, then stream
+        // reads over far more data than the 4 MB L2 holds. Evictions must
+        // probe L1 (inclusion maintenance); the debug_assert on the
+        // write-back path would catch any inclusion violation.
+        let mut s = system(128);
+        let mut m = metrics();
+        for i in 0..64u64 {
+            s.access_user(Asid(1), TraceRecord::write(i * 4096), Picos::ZERO, &mut m);
+        }
+        for i in 0..3000u64 {
+            s.access_user(
+                Asid(1),
+                TraceRecord::read(0x100_0000 + i * 4096),
+                Picos::ZERO,
+                &mut m,
+            );
+        }
+        assert!(
+            m.counts.inclusion_probes > 0,
+            "L2 evictions must probe L1 for inclusion"
+        );
+        assert!(m.counts.dram_block_fetches > 3000, "streamed past capacity");
+    }
+
+    #[test]
+    fn victim_cache_serves_conflict_misses_without_dram() {
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 4096);
+        cfg.l1_victim_blocks = Some(16);
+        let mut s = Conventional::new(&cfg);
+        let mut m = metrics();
+        // Physical placement is shuffled, so force conflicts by
+        // pigeonhole: 8 page-aligned blocks can only occupy 4 distinct
+        // page-slots of the 16 KB L1, so round-robin touching them
+        // ping-pongs at least 4 of them through the victim buffer.
+        for round in 0..12 {
+            for i in 0..8u64 {
+                s.access_user(Asid(1), TraceRecord::read(i * 4096), Picos::ZERO, &mut m);
+            }
+            if round == 0 {
+                // Warm-up round done: everything is L2-resident now.
+                m.counts.dram_block_fetches = 0;
+            }
+        }
+        assert!(m.counts.victim_hits > 10, "swap-backs: {}", m.counts.victim_hits);
+        assert_eq!(
+            m.counts.dram_block_fetches, 0,
+            "steady-state ping-pong served without DRAM traffic"
+        );
+    }
+
+    #[test]
+    fn finite_write_buffer_eventually_stalls() {
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        cfg.write_buffer_depth = Some(2);
+        let mut s = Conventional::new(&cfg);
+        let mut m = metrics();
+        // Warm one block, then hammer write hits with no stalls to drain.
+        s.access_user(Asid(1), TraceRecord::write(0x40), Picos::ZERO, &mut m);
+        for _ in 0..16 {
+            s.access_user(Asid(1), TraceRecord::write(0x48), Picos::ZERO, &mut m);
+        }
+        assert!(
+            m.counts.write_buffer_stalls > 0,
+            "a depth-2 buffer must fill under back-to-back write hits"
+        );
+    }
+
+    #[test]
+    fn classify_l2_profiles_misses() {
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        cfg.classify_l2 = true;
+        let mut s = Conventional::new(&cfg);
+        let mut m = metrics();
+        for i in 0..4000u64 {
+            s.access_user(Asid(1), TraceRecord::read(i * 4096), Picos::ZERO, &mut m);
+        }
+        s.finalize(&mut m);
+        let p = m.counts.l2_miss_profile;
+        assert!(p.compulsory >= 4000, "every page cold-missed: {p:?}");
+        assert_eq!(
+            p.misses(),
+            m.counts.l2.misses(),
+            "classifier agrees with the L2's own accounting"
+        );
+        // Diagnosis is free in simulated time: rerun without it.
+        let mut s2 = Conventional::new(&SystemConfig::baseline(IssueRate::GHZ1, 128));
+        let mut m2 = metrics();
+        for i in 0..4000u64 {
+            s2.access_user(Asid(1), TraceRecord::read(i * 4096), Picos::ZERO, &mut m2);
+        }
+        assert_eq!(m.time, m2.time, "classification charges no cycles");
+    }
+
+    #[test]
+    fn finalize_copies_stats() {
+        let mut s = system(128);
+        let mut m = metrics();
+        s.access_user(Asid(1), TraceRecord::fetch(0x400000), Picos::ZERO, &mut m);
+        s.finalize(&mut m);
+        assert!(m.counts.l1i.accesses() > 0);
+        assert!(m.counts.tlb.misses > 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The two memory systems the paper compares.
+//!
+//! Both sit below the same front end (16 KB direct-mapped L1 I/D caches,
+//! TLB, perfect write buffering) and above the same Direct Rambus DRAM;
+//! they differ in what occupies the 4 MB SRAM level and who manages it:
+//!
+//! * [`Conventional`] — a hardware L2 cache (tags, inclusion, hardware
+//!   replacement);
+//! * [`Rampage`] — a software-managed paged SRAM main memory (no tags,
+//!   pinned inverted page table, clock replacement, faults handled by
+//!   simulated OS software).
+
+mod conventional;
+mod rampage;
+
+pub use conventional::Conventional;
+pub use rampage::Rampage;
+
+use crate::config::SystemConfig;
+use crate::metrics::Metrics;
+use rampage_dram::Picos;
+use rampage_trace::{Asid, TraceRecord};
+
+/// Result of presenting one user reference to a memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// CPU cycles the reference stalls beyond its base issue cycle
+    /// (includes any software-handler execution the reference triggered).
+    pub stall_cycles: u64,
+    /// Set when the process must block on a DRAM page transfer instead of
+    /// stalling (RAMpage with context-switch-on-miss): the absolute time
+    /// at which the transfer completes and the process becomes runnable.
+    pub blocked_until: Option<Picos>,
+}
+
+/// A memory system under the simulator's L1-and-below accounting rules.
+///
+/// Implementations charge time into the [`Metrics`] buckets as they go
+/// (the engine owns base instruction-issue time and idle time) and return
+/// per-reference stall cycles.
+pub trait MemorySystem {
+    /// Present one user reference at absolute time `now`.
+    fn access_user(
+        &mut self,
+        asid: Asid,
+        rec: TraceRecord,
+        now: Picos,
+        m: &mut Metrics,
+    ) -> AccessOutcome;
+
+    /// Execute the ~400-reference context-switch code through the
+    /// hierarchy; returns the stall cycles it took.
+    fn run_switch(&mut self, from: usize, to: usize, now: Picos, m: &mut Metrics) -> u64;
+
+    /// Copy internal cache/TLB statistics into the metrics at end of run.
+    fn finalize(&mut self, m: &mut Metrics);
+
+    /// A short description for reports.
+    fn label(&self) -> String;
+}
+
+/// Build the memory system a configuration describes.
+pub fn build(cfg: &SystemConfig) -> Box<dyn MemorySystem + Send> {
+    match cfg.hierarchy {
+        crate::config::HierarchyKind::Conventional(_) => Box::new(Conventional::new(cfg)),
+        crate::config::HierarchyKind::Rampage(_) => Box::new(Rampage::new(cfg)),
+    }
+}

@@ -1,0 +1,64 @@
+//! The common memory-device timing interface.
+
+use crate::time::Picos;
+
+/// A device that transfers contiguous byte ranges with a fixed initial
+/// latency and a fixed peak bandwidth.
+///
+/// Implemented by [`DirectRambus`](crate::DirectRambus),
+/// [`Sdram`](crate::Sdram) and [`Disk`](crate::Disk). The simulator treats
+/// devices purely through this interface, so hierarchies can be
+/// instantiated over any of them.
+pub trait MemoryDevice {
+    /// Time from request to first datum.
+    fn initial_latency(&self) -> Picos;
+
+    /// Total time to transfer `bytes` contiguous bytes, including the
+    /// initial latency. Zero-byte transfers take zero time.
+    fn transfer_time(&self, bytes: u64) -> Picos;
+
+    /// Peak (streaming) bandwidth in bytes per second.
+    fn peak_bandwidth(&self) -> f64;
+
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// Time for the data portion only (transfer minus initial latency),
+    /// used when a pipelined device hides the latency of queued requests.
+    fn data_time(&self, bytes: u64) -> Picos {
+        self.transfer_time(bytes)
+            .saturating_sub(self.initial_latency())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl MemoryDevice for Fake {
+        fn initial_latency(&self) -> Picos {
+            Picos(100)
+        }
+        fn transfer_time(&self, bytes: u64) -> Picos {
+            if bytes == 0 {
+                Picos::ZERO
+            } else {
+                Picos(100) + Picos(10) * bytes
+            }
+        }
+        fn peak_bandwidth(&self) -> f64 {
+            1e11
+        }
+        fn name(&self) -> &str {
+            "fake"
+        }
+    }
+
+    #[test]
+    fn data_time_strips_latency() {
+        let d = Fake;
+        assert_eq!(d.data_time(8), Picos(80));
+        assert_eq!(d.data_time(0), Picos::ZERO);
+    }
+}

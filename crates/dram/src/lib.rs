@@ -1,0 +1,49 @@
+//! Memory-device timing models for the RAMpage simulator.
+//!
+//! The paper models DRAM as a simplified Direct Rambus (§3.3, §4.3): 50 ns
+//! before the first datum, then 2 bytes every 1.25 ns, giving the same
+//! 1.6 GB/s peak as a 128-bit SDRAM bus at 10 ns. Table 1 of the paper
+//! compares the *efficiency* (fraction of peak bandwidth actually used) of
+//! Direct Rambus against a disk (10 ms latency, 40 MB/s) to argue that
+//! DRAM shares the disk's preference for large transfer units — the
+//! premise of treating DRAM as a paging device.
+//!
+//! This crate provides those analytic models:
+//!
+//! * [`DirectRambus`] — the paper's DRAM, in non-pipelined and pipelined
+//!   (95 %-of-peak, §3.3) variants;
+//! * [`Sdram`] — the 128-bit-bus SDRAM comparator of §3.3;
+//! * [`Disk`] — the Table 1 disk;
+//! * [`MemoryDevice`] — the common transfer-time interface;
+//! * [`efficiency`] / [`efficiency_table`] — Table 1 itself.
+//!
+//! All times are integer picoseconds ([`Picos`]) to keep the simulator
+//! exact and reproducible.
+//!
+//! ```
+//! use rampage_dram::{DirectRambus, MemoryDevice};
+//!
+//! let rambus = DirectRambus::non_pipelined();
+//! // A 4 KB page transfer: 50 ns + 4096/2 x 1.25 ns = 2610 ns — the
+//! // "about 2,600 instructions at a 1 GHz issue rate" of §3.5.
+//! assert_eq!(rambus.transfer_time(4096).as_nanos_f64(), 2610.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod disk;
+mod efficiency;
+mod model;
+mod rambus;
+mod sdram;
+mod time;
+
+pub use device::MemoryDevice;
+pub use disk::Disk;
+pub use efficiency::{efficiency, efficiency_table, EfficiencyRow, TABLE1_SIZES};
+pub use model::DramModel;
+pub use rambus::DirectRambus;
+pub use sdram::Sdram;
+pub use time::Picos;

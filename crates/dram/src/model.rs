@@ -1,0 +1,106 @@
+//! A closed enum over the DRAM device models, for use where dynamic
+//! dispatch would be inconvenient (the simulator's hot path).
+
+use crate::device::MemoryDevice;
+use crate::rambus::DirectRambus;
+use crate::sdram::Sdram;
+use crate::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Which DRAM sits behind the memory controller.
+///
+/// The paper's runs use [`DramModel::rambus`]; §3.3 argues a non-pipelined
+/// Direct Rambus "has similar characteristics to an SDRAM implementation",
+/// which the SDRAM variant lets an ablation verify at system level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramModel {
+    /// Direct Rambus (non-pipelined or pipelined).
+    Rambus(DirectRambus),
+    /// The §3.3 SDRAM example (or a custom geometry).
+    Sdram(Sdram),
+}
+
+impl DramModel {
+    /// The paper's configuration.
+    pub fn rambus() -> Self {
+        DramModel::Rambus(DirectRambus::non_pipelined())
+    }
+
+    /// The §6.3 pipelined ablation.
+    pub fn rambus_pipelined() -> Self {
+        DramModel::Rambus(DirectRambus::pipelined())
+    }
+
+    /// The §3.3 SDRAM comparator.
+    pub fn sdram() -> Self {
+        DramModel::Sdram(Sdram::paper_example())
+    }
+
+    /// Time for a transfer issued while the channel is already busy
+    /// (only the pipelined Rambus hides latency in that case).
+    pub fn queued_transfer_time(&self, bytes: u64) -> Picos {
+        match self {
+            DramModel::Rambus(r) => r.queued_transfer_time(bytes),
+            DramModel::Sdram(s) => s.transfer_time(bytes),
+        }
+    }
+}
+
+impl MemoryDevice for DramModel {
+    fn initial_latency(&self) -> Picos {
+        match self {
+            DramModel::Rambus(r) => r.initial_latency(),
+            DramModel::Sdram(s) => s.initial_latency(),
+        }
+    }
+
+    fn transfer_time(&self, bytes: u64) -> Picos {
+        match self {
+            DramModel::Rambus(r) => r.transfer_time(bytes),
+            DramModel::Sdram(s) => s.transfer_time(bytes),
+        }
+    }
+
+    fn peak_bandwidth(&self) -> f64 {
+        match self {
+            DramModel::Rambus(r) => r.peak_bandwidth(),
+            DramModel::Sdram(s) => s.peak_bandwidth(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            DramModel::Rambus(r) => r.name(),
+            DramModel::Sdram(s) => s.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_delegate() {
+        let r = DramModel::rambus();
+        assert_eq!(r.transfer_time(128), Picos::from_nanos(130));
+        assert_eq!(r.name(), "Direct Rambus");
+        let s = DramModel::sdram();
+        assert_eq!(s.transfer_time(128), Picos::from_nanos(130));
+        assert_eq!(s.name(), "SDRAM");
+        let p = DramModel::rambus_pipelined();
+        assert!(p.queued_transfer_time(128) < p.transfer_time(128));
+        // SDRAM has no reference pipelining (§3.3's contrast).
+        assert_eq!(s.queued_transfer_time(128), s.transfer_time(128));
+    }
+
+    #[test]
+    fn rambus_and_sdram_match_at_bus_width_multiples() {
+        // §3.3: without pipelining the two are near-equivalent for
+        // cache-block transfers — identical at 16-byte multiples.
+        let (r, s) = (DramModel::rambus(), DramModel::sdram());
+        for bytes in [32u64, 128, 512, 4096] {
+            assert_eq!(r.transfer_time(bytes), s.transfer_time(bytes));
+        }
+    }
+}

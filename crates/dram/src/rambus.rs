@@ -1,0 +1,153 @@
+//! The paper's Direct Rambus model.
+
+use crate::device::MemoryDevice;
+use crate::time::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Direct Rambus DRAM, as modelled in §4.3 of the paper.
+///
+/// Non-pipelined (the configuration used for all of the paper's results):
+/// 50 ns before the first reference starts, thereafter 2 bytes every
+/// 1.25 ns — 1.6 GB/s peak over a 2-byte bus at 1.25 ns, equal to a
+/// 128-bit SDRAM bus at 10 ns.
+///
+/// Pipelined (§3.3, the paper's future-work ablation): Direct Rambus "goes
+/// further than other latency-hiding DRAM designs in that it allows
+/// multiple independent references to be pipelined, allowing a theoretical
+/// 95 % of peak bandwidth to be achieved on units as small as 2 bytes."
+/// The pipelined variant models that by letting a transfer *queued behind
+/// another* skip the initial latency, paying only data time at 95 % of
+/// peak; an isolated transfer still pays full latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectRambus {
+    pipelined: bool,
+}
+
+/// 50 ns initial access latency.
+const INITIAL: Picos = Picos::from_nanos(50);
+/// 1.25 ns per 2-byte transfer unit.
+const PER_PAIR: Picos = Picos(1250);
+
+impl DirectRambus {
+    /// The paper's configuration: no pipelining of independent references.
+    pub fn non_pipelined() -> Self {
+        DirectRambus { pipelined: false }
+    }
+
+    /// The future-work configuration: independent references pipeline at
+    /// 95 % of peak bandwidth.
+    pub fn pipelined() -> Self {
+        DirectRambus { pipelined: true }
+    }
+
+    /// Whether this device pipelines queued references.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Time for a transfer that is issued while the channel is already
+    /// streaming (pipelined devices hide the initial latency; for the
+    /// non-pipelined paper configuration this equals
+    /// [`transfer_time`](MemoryDevice::transfer_time)).
+    pub fn queued_transfer_time(&self, bytes: u64) -> Picos {
+        if bytes == 0 {
+            return Picos::ZERO;
+        }
+        if self.pipelined {
+            // Data at 95% of peak (packet overhead): time = data / 0.95,
+            // exact in picoseconds via x20/19 — but pipelining can never
+            // make a queued transfer slower than an isolated one, so cap
+            // at the full latency-paying time (matters for large units,
+            // where 5% overhead exceeds the 50 ns latency).
+            let data = PER_PAIR * bytes.div_ceil(2);
+            Picos((data.0 * 20).div_ceil(19)).min(self.transfer_time(bytes))
+        } else {
+            self.transfer_time(bytes)
+        }
+    }
+}
+
+impl MemoryDevice for DirectRambus {
+    fn initial_latency(&self) -> Picos {
+        INITIAL
+    }
+
+    fn transfer_time(&self, bytes: u64) -> Picos {
+        if bytes == 0 {
+            return Picos::ZERO;
+        }
+        INITIAL + PER_PAIR * bytes.div_ceil(2)
+    }
+
+    fn peak_bandwidth(&self) -> f64 {
+        // 2 bytes per 1.25 ns = 1.6e9 B/s.
+        2.0 / 1.25e-9
+    }
+
+    fn name(&self) -> &str {
+        if self.pipelined {
+            "Direct Rambus (pipelined)"
+        } else {
+            "Direct Rambus"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_4kb_transfer_is_2610ns() {
+        // §3.5: "a 4 Kbyte Direct Rambus transfer costs about 2,600
+        // instructions" at 1 GHz — 50 + 2048 x 1.25 = 2610 ns.
+        let r = DirectRambus::non_pipelined();
+        assert_eq!(r.transfer_time(4096), Picos::from_nanos(2610));
+    }
+
+    #[test]
+    fn small_block_transfers() {
+        let r = DirectRambus::non_pipelined();
+        // 128 bytes: 50 + 64 x 1.25 = 130 ns.
+        assert_eq!(r.transfer_time(128), Picos::from_nanos(130));
+        // 32 bytes: 50 + 16 x 1.25 = 70 ns.
+        assert_eq!(r.transfer_time(32), Picos::from_nanos(70));
+        // 2 bytes: 50 + 1.25 = 51.25 ns.
+        assert_eq!(r.transfer_time(2), Picos(51_250));
+    }
+
+    #[test]
+    fn odd_byte_counts_round_to_pairs() {
+        let r = DirectRambus::non_pipelined();
+        assert_eq!(r.transfer_time(3), r.transfer_time(4));
+        assert_eq!(r.transfer_time(0), Picos::ZERO);
+    }
+
+    #[test]
+    fn peak_bandwidth_is_1_6_gbs() {
+        let r = DirectRambus::non_pipelined();
+        assert!((r.peak_bandwidth() - 1.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn pipelined_queued_transfers_hit_95_percent() {
+        let r = DirectRambus::pipelined();
+        // Queued 2-byte unit: 1.25 ns / 0.95 ≈ 1.3158 ns, no 50 ns.
+        let t = r.queued_transfer_time(2);
+        assert!(t < Picos::from_nanos(2), "latency hidden, got {t}");
+        let eff = (2.0 / r.peak_bandwidth()) / t.as_secs_f64();
+        assert!((0.94..=0.96).contains(&eff), "efficiency {eff}");
+    }
+
+    #[test]
+    fn non_pipelined_queued_equals_isolated() {
+        let r = DirectRambus::non_pipelined();
+        assert_eq!(r.queued_transfer_time(128), r.transfer_time(128));
+    }
+
+    #[test]
+    fn isolated_pipelined_transfer_still_pays_latency() {
+        let r = DirectRambus::pipelined();
+        assert_eq!(r.transfer_time(128), Picos::from_nanos(130));
+    }
+}

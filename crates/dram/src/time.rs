@@ -1,0 +1,183 @@
+//! Exact time arithmetic in picoseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A duration in integer picoseconds.
+///
+/// Every latency in the paper is an exact multiple of 1.25 ns = 1250 ps,
+/// and every simulated issue rate from 200 MHz to 4 GHz has an integer
+/// cycle time in picoseconds, so all conversions in the simulator are
+/// exact — no float drift across a billion references.
+///
+/// ```
+/// use rampage_dram::Picos;
+/// let latency = Picos::from_nanos(50);
+/// let per_pair = Picos(1250); // 2 bytes / 1.25 ns
+/// assert_eq!(latency + per_pair * 64, Picos::from_nanos(130));
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Serialize,
+    Deserialize,
+)]
+pub struct Picos(pub u64);
+
+impl Picos {
+    /// Zero duration.
+    pub const ZERO: Picos = Picos(0);
+
+    /// From whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Picos {
+        Picos(ns * 1000)
+    }
+
+    /// From whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Picos {
+        Picos(us * 1_000_000)
+    }
+
+    /// From whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Picos {
+        Picos(ms * 1_000_000_000)
+    }
+
+    /// As fractional nanoseconds (for reports only).
+    #[inline]
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// As fractional seconds (for reports only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// How many CPU cycles of `cycle_time` this duration occupies,
+    /// rounded up (a stall always costs whole cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_time` is zero.
+    #[inline]
+    pub fn cycles_ceil(self, cycle_time: Picos) -> u64 {
+        assert!(cycle_time.0 > 0, "zero cycle time");
+        self.0.div_ceil(cycle_time.0)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Picos) -> Picos {
+        Picos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Picos {
+    type Output = Picos;
+    #[inline]
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Picos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picos {
+    type Output = Picos;
+    #[inline]
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Picos {
+    type Output = Picos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Picos {
+        Picos(self.0 * rhs)
+    }
+}
+
+impl Sum for Picos {
+    fn sum<I: Iterator<Item = Picos>>(iter: I) -> Picos {
+        iter.fold(Picos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale() {
+        assert_eq!(Picos::from_nanos(1), Picos(1000));
+        assert_eq!(Picos::from_micros(1), Picos(1_000_000));
+        assert_eq!(Picos::from_millis(1), Picos(1_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Picos(100) + Picos(23), Picos(123));
+        assert_eq!(Picos(100) - Picos(23), Picos(77));
+        assert_eq!(Picos(100) * 3, Picos(300));
+        let s: Picos = [Picos(1), Picos(2), Picos(3)].into_iter().sum();
+        assert_eq!(s, Picos(6));
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        // 50 ns at 200 MHz (5 ns cycle) = 10 cycles exactly.
+        assert_eq!(Picos::from_nanos(50).cycles_ceil(Picos::from_nanos(5)), 10);
+        // 50 ns at 4 GHz (250 ps cycle) = 200 cycles exactly.
+        assert_eq!(Picos::from_nanos(50).cycles_ceil(Picos(250)), 200);
+        // Partial cycles round up.
+        assert_eq!(Picos(1001).cycles_ceil(Picos(1000)), 2);
+        assert_eq!(Picos(0).cycles_ceil(Picos(1000)), 0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Picos(500).to_string(), "500 ps");
+        assert_eq!(Picos::from_nanos(50).to_string(), "50.000 ns");
+        assert_eq!(Picos::from_micros(2).to_string(), "2.000 us");
+        assert_eq!(Picos::from_millis(10).to_string(), "10.000 ms");
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Picos(5).saturating_sub(Picos(10)), Picos::ZERO);
+    }
+}

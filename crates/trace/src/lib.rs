@@ -1,0 +1,48 @@
+//! Address traces and synthetic workloads for the RAMpage simulator.
+//!
+//! The ASPLOS 1998 RAMpage study was driven by 18 address traces from the
+//! New Mexico State University *Tracebase* archive (SPEC92 programs plus
+//! Unix utilities, 1.1 billion references total, listed in Table 2 of the
+//! paper). Those traces are no longer practically obtainable, so this crate
+//! provides the closest synthetic equivalent: deterministic, seeded
+//! generators that reproduce the *locality structure* the paper's
+//! experiments stress — instruction working sets, spatial runs over arrays,
+//! pointer chases, hot/cold data mixes — parameterized per benchmark from
+//! the paper's Table 2 (instruction-fetch fraction and reference volume).
+//!
+//! The crate also provides the multiprogramming machinery the paper
+//! describes in §4.2: traces are interleaved round-robin with a 500 000
+//! reference quantum to simulate a multiprogrammed workload.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rampage_trace::{profiles, Interleaver, ScheduleEvent};
+//!
+//! // Build the paper's 18-program workload at 1/1000 scale.
+//! let sources = profiles::standard_suite(1000, 42);
+//! let mut mix = Interleaver::new(sources, 500_000);
+//! let mut n = 0u64;
+//! while let ScheduleEvent::Record { record, .. } = mix.next_event() {
+//!     let _ = record.addr;
+//!     n += 1;
+//! }
+//! assert!(n > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interleave;
+pub mod io;
+mod record;
+mod stats;
+mod stream;
+
+pub mod profiles;
+pub mod synth;
+
+pub use interleave::{Interleaver, ProcessId, ScheduleEvent};
+pub use record::{AccessKind, Asid, TraceRecord, VirtAddr};
+pub use stats::{MixFractions, TraceStats};
+pub use stream::{BoundedSource, TraceSource, VecSource};

@@ -1,0 +1,213 @@
+//! The basic unit of a trace: one memory reference.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual address within one process's address space.
+///
+/// The simulator treats addresses as opaque 64-bit values; generators in
+/// this crate stay below 2^32 to match the 32-bit R2000 traces the paper
+/// used.
+///
+/// ```
+/// use rampage_trace::VirtAddr;
+/// let a = VirtAddr(0x0040_0000);
+/// assert_eq!(a.page_number(4096), 0x400);
+/// assert_eq!(a.page_offset(4096), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Virtual page number for a given page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `page_size` is not a power of two.
+    #[inline]
+    pub fn page_number(self, page_size: u64) -> u64 {
+        debug_assert!(page_size.is_power_of_two());
+        self.0 >> page_size.trailing_zeros()
+    }
+
+    /// Byte offset within the page for a given page size in bytes.
+    #[inline]
+    pub fn page_offset(self, page_size: u64) -> u64 {
+        debug_assert!(page_size.is_power_of_two());
+        self.0 & (page_size - 1)
+    }
+
+    /// The address rounded down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_down(self, align: u64) -> VirtAddr {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr(self.0 & !(align - 1))
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+/// An address-space identifier: one per simulated process.
+///
+/// Translation structures (TLB, inverted page table) key on
+/// `(Asid, virtual page number)` so that processes with identical virtual
+/// layouts do not alias.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Asid(pub u16);
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+/// What kind of memory reference a trace record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An instruction fetch (goes to the L1 instruction cache).
+    InstrFetch,
+    /// A data load (goes to the L1 data cache).
+    Read,
+    /// A data store (goes to the L1 data cache; write-allocate).
+    Write,
+}
+
+impl AccessKind {
+    /// True for `Read` and `Write`.
+    #[inline]
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// True only for `Write`.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::InstrFetch => "ifetch",
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory reference: an address plus the kind of access.
+///
+/// Records carry no timestamp; the simulator is trace-driven and assigns
+/// time as it processes each reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Virtual address referenced.
+    pub addr: VirtAddr,
+    /// Fetch / read / write.
+    pub kind: AccessKind,
+}
+
+impl TraceRecord {
+    /// Convenience constructor for an instruction fetch.
+    #[inline]
+    pub fn fetch(addr: u64) -> Self {
+        TraceRecord {
+            addr: VirtAddr(addr),
+            kind: AccessKind::InstrFetch,
+        }
+    }
+
+    /// Convenience constructor for a data load.
+    #[inline]
+    pub fn read(addr: u64) -> Self {
+        TraceRecord {
+            addr: VirtAddr(addr),
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Convenience constructor for a data store.
+    #[inline]
+    pub fn write(addr: u64) -> Self {
+        TraceRecord {
+            addr: VirtAddr(addr),
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_number_and_offset_roundtrip() {
+        let a = VirtAddr(0x1234_5678);
+        let ps = 4096;
+        assert_eq!(a.page_number(ps) * ps + a.page_offset(ps), a.0);
+    }
+
+    #[test]
+    fn page_math_small_pages() {
+        let a = VirtAddr(0x1000 + 130);
+        assert_eq!(a.page_number(128), 0x1000 / 128 + 1);
+        assert_eq!(a.page_offset(128), 2);
+    }
+
+    #[test]
+    fn align_down_masks_low_bits() {
+        assert_eq!(VirtAddr(0x1234_5678).align_down(32), VirtAddr(0x1234_5660));
+        assert_eq!(VirtAddr(0x20).align_down(32), VirtAddr(0x20));
+        assert_eq!(VirtAddr(0x1f).align_down(32), VirtAddr(0));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::Read.is_data());
+        assert!(AccessKind::Write.is_data());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(TraceRecord::fetch(4).kind, AccessKind::InstrFetch);
+        assert_eq!(TraceRecord::read(4).kind, AccessKind::Read);
+        assert_eq!(TraceRecord::write(4).kind, AccessKind::Write);
+        assert_eq!(TraceRecord::write(4).addr, VirtAddr(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = TraceRecord::read(0x40);
+        assert_eq!(r.to_string(), "read 0x00000040");
+        assert_eq!(Asid(3).to_string(), "asid3");
+    }
+}

@@ -1,0 +1,156 @@
+//! Trace statistics: reference mix and footprints.
+
+use crate::record::{AccessKind, TraceRecord};
+use crate::stream::TraceSource;
+use std::collections::HashSet;
+
+/// Fractions of each reference kind within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MixFractions {
+    /// Instruction fetches / total.
+    pub ifetch: f64,
+    /// Loads / total.
+    pub read: f64,
+    /// Stores / total.
+    pub write: f64,
+}
+
+/// Aggregate statistics over a trace prefix.
+///
+/// Used to validate that synthetic workloads match their Table 2 profiles
+/// and to size working sets against cache/TLB reach.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total references observed.
+    pub total: u64,
+    /// Instruction fetches observed.
+    pub ifetches: u64,
+    /// Loads observed.
+    pub reads: u64,
+    /// Stores observed.
+    pub writes: u64,
+    /// Distinct cache blocks touched (block size given at collection).
+    pub unique_blocks: u64,
+    /// Distinct pages touched (page size given at collection).
+    pub unique_pages: u64,
+}
+
+impl TraceStats {
+    /// Collect statistics over up to `limit` records of `source`.
+    ///
+    /// `block_size` and `page_size` must be powers of two; they determine
+    /// the footprint granularities reported in [`unique_blocks`] and
+    /// [`unique_pages`].
+    ///
+    /// [`unique_blocks`]: TraceStats::unique_blocks
+    /// [`unique_pages`]: TraceStats::unique_pages
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` or `page_size` is not a power of two.
+    pub fn collect<S: TraceSource>(
+        source: &mut S,
+        limit: u64,
+        block_size: u64,
+        page_size: u64,
+    ) -> Self {
+        assert!(block_size.is_power_of_two(), "block size");
+        assert!(page_size.is_power_of_two(), "page size");
+        let mut stats = TraceStats::default();
+        let mut blocks = HashSet::new();
+        let mut pages = HashSet::new();
+        while stats.total < limit {
+            let Some(rec) = source.next_record() else {
+                break;
+            };
+            stats.observe(rec);
+            blocks.insert(rec.addr.0 >> block_size.trailing_zeros());
+            pages.insert(rec.addr.0 >> page_size.trailing_zeros());
+        }
+        stats.unique_blocks = blocks.len() as u64;
+        stats.unique_pages = pages.len() as u64;
+        stats
+    }
+
+    /// Count a single record (footprints are only tracked by
+    /// [`collect`](TraceStats::collect)).
+    pub fn observe(&mut self, rec: TraceRecord) {
+        self.total += 1;
+        match rec.kind {
+            AccessKind::InstrFetch => self.ifetches += 1,
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+    }
+
+    /// The observed reference mix.
+    pub fn mix(&self) -> MixFractions {
+        if self.total == 0 {
+            return MixFractions::default();
+        }
+        let t = self.total as f64;
+        MixFractions {
+            ifetch: self.ifetches as f64 / t,
+            read: self.reads as f64 / t,
+            write: self.writes as f64 / t,
+        }
+    }
+
+    /// Data footprint in bytes at the collection's page granularity.
+    pub fn page_footprint_bytes(&self, page_size: u64) -> u64 {
+        self.unique_pages * page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::VecSource;
+
+    #[test]
+    fn mix_and_footprint_counts() {
+        let mut s = VecSource::new(
+            "t",
+            vec![
+                TraceRecord::fetch(0),
+                TraceRecord::fetch(4),
+                TraceRecord::read(0x1000),
+                TraceRecord::write(0x1008),
+                TraceRecord::read(0x2000),
+            ],
+        );
+        let st = TraceStats::collect(&mut s, 100, 32, 4096);
+        assert_eq!(st.total, 5);
+        assert_eq!(st.ifetches, 2);
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.writes, 1);
+        // Blocks: {0, 0x1000/32, 0x2000/32} and 0x1008 shares 0x1000's block.
+        assert_eq!(st.unique_blocks, 3);
+        // Pages: {0, 1, 2}.
+        assert_eq!(st.unique_pages, 3);
+        assert_eq!(st.page_footprint_bytes(4096), 3 * 4096);
+
+        let mix = st.mix();
+        assert!((mix.ifetch - 0.4).abs() < 1e-9);
+        assert!((mix.read - 0.4).abs() < 1e-9);
+        assert!((mix.write - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limit_stops_collection() {
+        let mut s = VecSource::new(
+            "t",
+            (0..100).map(|i| TraceRecord::fetch(i * 4)).collect(),
+        );
+        let st = TraceStats::collect(&mut s, 10, 32, 4096);
+        assert_eq!(st.total, 10);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_mix() {
+        let mut s = VecSource::new("e", vec![]);
+        let st = TraceStats::collect(&mut s, 10, 32, 4096);
+        assert_eq!(st.total, 0);
+        assert_eq!(st.mix(), MixFractions::default());
+    }
+}

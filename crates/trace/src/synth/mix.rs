@@ -1,0 +1,269 @@
+//! The per-benchmark mixer: combines a code generator and weighted data
+//! generators into a single [`TraceSource`].
+
+use crate::record::{AccessKind, TraceRecord};
+use crate::stream::TraceSource;
+use crate::synth::code::CodeGen;
+use crate::synth::data::DataGen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A data generator plus its selection weight within a benchmark.
+pub struct WeightedData {
+    /// The generator.
+    pub gen: Box<dyn DataGen + Send>,
+    /// Relative weight (any positive scale; normalized internally).
+    pub weight: f64,
+}
+
+impl WeightedData {
+    /// Convenience constructor.
+    pub fn new(gen: impl DataGen + Send + 'static, weight: f64) -> Self {
+        WeightedData {
+            gen: Box::new(gen),
+            weight,
+        }
+    }
+}
+
+impl std::fmt::Debug for WeightedData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightedData")
+            .field("weight", &self.weight)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Static description of a benchmark's reference mix.
+///
+/// `ifetch_frac` and `write_frac` come straight from the paper's Table 2
+/// (instruction fetches / total references) and typical SPEC92 store ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixSpec {
+    /// Fraction of all references that are instruction fetches.
+    pub ifetch_frac: f64,
+    /// Fraction of *data* references that are writes.
+    pub write_frac: f64,
+}
+
+impl MixSpec {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is outside `[0, 1]`.
+    pub fn new(ifetch_frac: f64, write_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ifetch_frac), "ifetch_frac");
+        assert!((0.0..=1.0).contains(&write_frac), "write_frac");
+        MixSpec {
+            ifetch_frac,
+            write_frac,
+        }
+    }
+}
+
+/// A complete synthetic benchmark: instruction stream + data streams.
+///
+/// Per reference, the mixer draws an instruction fetch with probability
+/// `spec.ifetch_frac`, otherwise a data reference from one of the weighted
+/// generators (write with probability `spec.write_frac`). All randomness is
+/// seeded, so a given construction always yields the same trace.
+pub struct BenchmarkSynth {
+    name: String,
+    spec: MixSpec,
+    code: CodeGen,
+    data: Vec<WeightedData>,
+    cumulative: Vec<f64>,
+    rng: StdRng,
+}
+
+impl BenchmarkSynth {
+    /// Assemble a benchmark from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or all weights are zero/negative while
+    /// data references are possible (`spec.ifetch_frac < 1`).
+    pub fn new(
+        name: impl Into<String>,
+        spec: MixSpec,
+        code: CodeGen,
+        data: Vec<WeightedData>,
+        seed: u64,
+    ) -> Self {
+        let total: f64 = data.iter().map(|d| d.weight.max(0.0)).sum();
+        if spec.ifetch_frac < 1.0 {
+            assert!(
+                !data.is_empty() && total > 0.0,
+                "benchmark with data references needs weighted data generators"
+            );
+        }
+        let mut acc = 0.0;
+        let cumulative = data
+            .iter()
+            .map(|d| {
+                acc += d.weight.max(0.0) / total.max(f64::MIN_POSITIVE);
+                acc
+            })
+            .collect();
+        BenchmarkSynth {
+            name: name.into(),
+            spec,
+            code,
+            data,
+            cumulative,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The benchmark's mix specification.
+    pub fn spec(&self) -> MixSpec {
+        self.spec
+    }
+
+    fn pick_data(&mut self) -> TraceRecord {
+        let kind = if self.rng.gen::<f64>() < self.spec.write_frac {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let r: f64 = self.rng.gen();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| r <= c)
+            .unwrap_or(self.data.len() - 1);
+        self.data[idx].gen.next_data(kind)
+    }
+}
+
+impl std::fmt::Debug for BenchmarkSynth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkSynth")
+            .field("name", &self.name)
+            .field("spec", &self.spec)
+            .field("generators", &self.data.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSource for BenchmarkSynth {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let rec = if self.rng.gen::<f64>() < self.spec.ifetch_frac {
+            self.code.next_fetch()
+        } else {
+            self.pick_data()
+        };
+        Some(rec)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::data::{HotCold, SequentialSweep};
+    use crate::synth::layout;
+
+    fn sample(bench: &mut BenchmarkSynth, n: usize) -> Vec<TraceRecord> {
+        (0..n).map(|_| bench.next_record().unwrap()).collect()
+    }
+
+    fn toy(spec: MixSpec) -> BenchmarkSynth {
+        BenchmarkSynth::new(
+            "toy",
+            spec,
+            CodeGen::new(layout::CODE_BASE, 16 * 1024, 6, 0.4, 0.1, 1),
+            vec![
+                WeightedData::new(SequentialSweep::new(layout::HEAP_BASE, 1 << 20, 8), 3.0),
+                WeightedData::new(
+                    HotCold::new(
+                        layout::GLOBAL_BASE,
+                        4096,
+                        layout::GLOBAL_BASE + 0x10_0000,
+                        1 << 20,
+                        0.9,
+                        4,
+                        2,
+                    ),
+                    1.0,
+                ),
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn mix_matches_ifetch_fraction() {
+        let mut b = toy(MixSpec::new(0.75, 0.3));
+        let recs = sample(&mut b, 40_000);
+        let ifetches = recs
+            .iter()
+            .filter(|r| r.kind == AccessKind::InstrFetch)
+            .count();
+        let frac = ifetches as f64 / recs.len() as f64;
+        assert!((0.73..0.77).contains(&frac), "ifetch fraction {frac}");
+    }
+
+    #[test]
+    fn write_fraction_of_data_refs() {
+        let mut b = toy(MixSpec::new(0.5, 0.25));
+        let recs = sample(&mut b, 40_000);
+        let data: Vec<_> = recs.iter().filter(|r| r.kind.is_data()).collect();
+        let writes = data.iter().filter(|r| r.kind.is_write()).count();
+        let frac = writes as f64 / data.len() as f64;
+        assert!((0.22..0.28).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn pure_instruction_stream_needs_no_data_gens() {
+        let mut b = BenchmarkSynth::new(
+            "codeonly",
+            MixSpec::new(1.0, 0.0),
+            CodeGen::new(layout::CODE_BASE, 4096, 6, 0.3, 0.0, 3),
+            vec![],
+            9,
+        );
+        for _ in 0..1000 {
+            assert_eq!(b.next_record().unwrap().kind, AccessKind::InstrFetch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted data generators")]
+    fn rejects_data_mix_without_generators() {
+        let _ = BenchmarkSynth::new(
+            "bad",
+            MixSpec::new(0.5, 0.2),
+            CodeGen::new(layout::CODE_BASE, 4096, 6, 0.3, 0.0, 3),
+            vec![],
+            9,
+        );
+    }
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = toy(MixSpec::new(0.6, 0.3));
+        let mut b = toy(MixSpec::new(0.6, 0.3));
+        for _ in 0..5000 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn weights_bias_generator_selection() {
+        // Weight the sweep 3:1 over hot/cold; heap addresses should
+        // dominate data references roughly 3:1.
+        let mut b = toy(MixSpec::new(0.0, 0.0));
+        let recs = sample(&mut b, 20_000);
+        let heap = recs
+            .iter()
+            .filter(|r| r.addr.0 >= layout::HEAP_BASE)
+            .count();
+        let frac = heap as f64 / recs.len() as f64;
+        assert!((0.70..0.80).contains(&frac), "heap fraction {frac}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic workload generators.
+//!
+//! These generators stand in for the Tracebase R2000 traces used by the
+//! paper (see `DESIGN.md` §4). Each produces a deterministic, seeded stream
+//! of [`TraceRecord`]s with a controlled locality structure:
+//!
+//! * [`CodeGen`] — instruction fetches over a looping code working set;
+//! * [`SequentialSweep`] — unit-or-strided array streaming (high spatial
+//!   locality, the pattern that favours large blocks/pages);
+//! * [`PointerChase`] — a dependent chase over a shuffled node pool (low
+//!   spatial locality, the pattern that punishes large blocks);
+//! * [`HotCold`] — a hot set with occasional cold excursions (temporal
+//!   locality knob);
+//! * [`StackSim`] — call-stack push/pop traffic near the stack top;
+//! * [`BenchmarkSynth`] — the per-benchmark mixer combining the above to
+//!   hit a target instruction-fetch fraction and write ratio.
+//!
+//! [`TraceRecord`]: crate::TraceRecord
+
+mod code;
+mod data;
+mod mix;
+
+pub use code::CodeGen;
+pub use data::{DataGen, HotCold, PointerChase, SequentialSweep, StackSim};
+pub use mix::{BenchmarkSynth, MixSpec, WeightedData};
+
+/// Conventional virtual-address-space layout used by all generators.
+///
+/// One layout is shared by every synthetic process; the simulator keys
+/// translation on the ASID so identical layouts do not alias.
+pub mod layout {
+    /// Base of the code (text) segment.
+    pub const CODE_BASE: u64 = 0x0040_0000;
+    /// Base of initialized globals.
+    pub const GLOBAL_BASE: u64 = 0x1000_0000;
+    /// Base of the heap region.
+    pub const HEAP_BASE: u64 = 0x4000_0000;
+    /// Top of the downward-growing stack.
+    pub const STACK_TOP: u64 = 0x7fff_f000;
+}

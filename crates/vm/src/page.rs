@@ -1,0 +1,141 @@
+//! Page-granularity types.
+
+use rampage_trace::VirtAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated power-of-two page size in bytes.
+///
+/// The paper sweeps the RAMpage SRAM page size from 128 bytes to 4 KB
+/// (matching the L2 block-size sweep) while holding the DRAM page size at
+/// 4 KB (§2.4, §4.5).
+///
+/// ```
+/// use rampage_vm::PageSize;
+/// let p = PageSize::new(4096).unwrap();
+/// assert_eq!(p.get(), 4096);
+/// assert!(PageSize::new(100).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageSize(u64);
+
+impl PageSize {
+    /// The paper's sweep of RAMpage SRAM page sizes / L2 block sizes.
+    pub const PAPER_SWEEP: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+    /// Create a page size; `None` unless `bytes` is a power of two ≥ 8.
+    pub fn new(bytes: u64) -> Option<PageSize> {
+        (bytes >= 8 && bytes.is_power_of_two()).then_some(PageSize(bytes))
+    }
+
+    /// The size in bytes.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// log2 of the size.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// Virtual page number of a virtual address at this page size.
+    #[inline]
+    pub fn vpn(self, addr: VirtAddr) -> Vpn {
+        Vpn(addr.0 >> self.bits())
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn offset(self, addr: VirtAddr) -> u64 {
+        addr.0 & (self.0 - 1)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 && self.0.is_multiple_of(1024) {
+            write!(f, "{} KiB", self.0 / 1024)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// A virtual page number (address space determined by context's ASID).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Vpn(pub u64);
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical frame number in the paged memory (SRAM main memory for
+/// RAMpage; DRAM for the paging device).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// Base physical address of this frame for a given page size.
+    #[inline]
+    pub fn base_addr(self, page: PageSize) -> rampage_cache::PhysAddr {
+        rampage_cache::PhysAddr((self.0 as u64) << page.bits())
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_sweep() {
+        for s in PageSize::PAPER_SWEEP {
+            let p = PageSize::new(s).expect("paper size is valid");
+            assert_eq!(p.get(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_non_powers_and_tiny() {
+        assert!(PageSize::new(0).is_none());
+        assert!(PageSize::new(3).is_none());
+        assert!(PageSize::new(96).is_none());
+        assert!(PageSize::new(4).is_none(), "below 8-byte minimum");
+    }
+
+    #[test]
+    fn vpn_and_offset() {
+        let p = PageSize::new(128).unwrap();
+        let a = VirtAddr(0x1234);
+        assert_eq!(p.vpn(a), Vpn(0x1234 >> 7));
+        assert_eq!(p.offset(a), 0x1234 & 0x7f);
+        assert_eq!(p.vpn(a).0 * 128 + p.offset(a), 0x1234);
+    }
+
+    #[test]
+    fn frame_base_addresses() {
+        let p = PageSize::new(4096).unwrap();
+        assert_eq!(FrameId(3).base_addr(p).0, 3 * 4096);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PageSize::new(128).unwrap().to_string(), "128 B");
+        assert_eq!(PageSize::new(4096).unwrap().to_string(), "4 KiB");
+        assert_eq!(FrameId(7).to_string(), "frame:7");
+        assert_eq!(Vpn(16).to_string(), "vpn:0x10");
+    }
+}

@@ -1,0 +1,171 @@
+//! The standby page list: a software victim cache.
+
+use crate::page::{FrameId, Vpn};
+use rampage_trace::Asid;
+use std::collections::VecDeque;
+
+/// A page sitting on the standby list: replaced, but its frame not yet
+/// reused, so it can be reclaimed without a DRAM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StandbyEntry {
+    /// Owning address space.
+    pub asid: Asid,
+    /// The page.
+    pub vpn: Vpn,
+    /// The frame still holding its contents.
+    pub frame: FrameId,
+    /// Whether the contents are dirty with respect to DRAM.
+    pub dirty: bool,
+}
+
+/// §3.2 of the paper: "The victim cache concept can be implemented as an
+/// extension of the page replacement strategy, using a conventional
+/// operating system approach: when a page is replaced, it is moved to the
+/// standby page list; the page which is on the list longest is the one
+/// actually discarded."
+///
+/// The list holds pages whose frames have been reclaimed *logically* but
+/// whose contents are still intact; a fault on a listed page is a "soft
+/// fault" costing only handler software, no DRAM transfer. Used by the
+/// ablation experiments comparing software standby lists against the
+/// hardware victim cache in `rampage-cache`.
+#[derive(Debug, Clone)]
+pub struct StandbyList {
+    entries: VecDeque<StandbyEntry>,
+    capacity: usize,
+    soft_faults: u64,
+    hard_discards: u64,
+}
+
+impl StandbyList {
+    /// A list holding up to `capacity` replaced pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "standby list needs capacity");
+        StandbyList {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            soft_faults: 0,
+            hard_discards: 0,
+        }
+    }
+
+    /// Record a replaced page. If the list is full, the longest-standing
+    /// page is discarded for real and returned — its frame is now free
+    /// and, if dirty, must be written back to DRAM by the caller.
+    pub fn push(&mut self, entry: StandbyEntry) -> Option<StandbyEntry> {
+        self.entries.push_back(entry);
+        if self.entries.len() > self.capacity {
+            self.hard_discards += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Reclaim a page on fault, if it is still standing by (a soft
+    /// fault). The entry is removed and returned; its frame can simply be
+    /// remapped.
+    pub fn reclaim(&mut self, asid: Asid, vpn: Vpn) -> Option<StandbyEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.asid == asid && e.vpn == vpn)?;
+        self.soft_faults += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Surrender the oldest standby frame to the allocator (the OS needs
+    /// a truly free frame and the free pool is empty).
+    pub fn surrender_oldest(&mut self) -> Option<StandbyEntry> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.hard_discards += 1;
+        }
+        e
+    }
+
+    /// Whether a page is currently standing by (without reclaiming it).
+    pub fn contains(&self, asid: Asid, vpn: Vpn) -> bool {
+        self.entries.iter().any(|e| e.asid == asid && e.vpn == vpn)
+    }
+
+    /// Pages currently standing by.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is standing by.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Soft faults served (reclaims).
+    pub fn soft_faults(&self) -> u64 {
+        self.soft_faults
+    }
+
+    /// Pages discarded for real.
+    pub fn hard_discards(&self) -> u64 {
+        self.hard_discards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpn: u64, frame: u32, dirty: bool) -> StandbyEntry {
+        StandbyEntry {
+            asid: Asid(1),
+            vpn: Vpn(vpn),
+            frame: FrameId(frame),
+            dirty,
+        }
+    }
+
+    #[test]
+    fn push_then_reclaim_is_soft_fault() {
+        let mut l = StandbyList::new(4);
+        l.push(entry(10, 3, true));
+        let got = l.reclaim(Asid(1), Vpn(10)).unwrap();
+        assert_eq!(got.frame, FrameId(3));
+        assert!(got.dirty);
+        assert_eq!(l.soft_faults(), 1);
+        assert!(l.is_empty());
+        assert!(l.reclaim(Asid(1), Vpn(10)).is_none(), "gone after reclaim");
+    }
+
+    #[test]
+    fn overflow_discards_longest_standing() {
+        let mut l = StandbyList::new(2);
+        assert!(l.push(entry(1, 1, false)).is_none());
+        assert!(l.push(entry(2, 2, false)).is_none());
+        let out = l.push(entry(3, 3, false)).unwrap();
+        assert_eq!(out.vpn, Vpn(1), "FIFO discard");
+        assert_eq!(l.hard_discards(), 1);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn surrender_oldest_frees_a_frame() {
+        let mut l = StandbyList::new(4);
+        l.push(entry(1, 1, false));
+        l.push(entry(2, 2, true));
+        let e = l.surrender_oldest().unwrap();
+        assert_eq!(e.vpn, Vpn(1));
+        assert_eq!(l.len(), 1);
+        assert!(StandbyList::new(1).surrender_oldest().is_none());
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut l = StandbyList::new(4);
+        l.push(entry(10, 1, false));
+        assert!(l.reclaim(Asid(2), Vpn(10)).is_none());
+        assert_eq!(l.len(), 1);
+    }
+}

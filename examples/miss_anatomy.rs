@@ -1,0 +1,83 @@
+//! Miss anatomy: classify the misses of the paper's L2 organizations
+//! with the 3C taxonomy (compulsory / capacity / conflict).
+//!
+//! Conflict misses are exactly what RAMpage's full associativity (and a
+//! 2-way L2's partial associativity) removes; this example quantifies
+//! that mechanism directly on the synthetic suite, outside the timing
+//! simulator.
+//!
+//! ```text
+//! cargo run --release --example miss_anatomy [--refs 200000]
+//! ```
+
+use rampage::cache::{Geometry, MissClassifier, PhysAddr, ReplacementPolicy};
+use rampage::prelude::*;
+use rampage::trace::profiles;
+use rampage_core::TableBuilder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let refs: u64 = args
+        .iter()
+        .position(|a| a == "--refs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    println!(
+        "3C classification of 4 MB L2 misses, {refs} refs x 8 interleaved benchmarks\n\
+         (addresses used physically: ASID folded into high bits)\n"
+    );
+
+    let mut t = TableBuilder::new(vec![
+        "organization".into(),
+        "block".into(),
+        "misses".into(),
+        "compulsory".into(),
+        "capacity".into(),
+        "conflict".into(),
+        "conflict share".into(),
+    ]);
+
+    for (name, ways) in [("direct-mapped", 1u32), ("2-way", 2), ("16-way (~full)", 16)] {
+        for block in [128u64, 1024] {
+            let geo = Geometry::new(4 << 20, block, ways).unwrap();
+            let mut mc = MissClassifier::new(geo, ReplacementPolicy::Lru);
+
+            // Drive the interleaved suite through the classifier. The
+            // ASID lands in the high address bits so processes do not
+            // alias (a crude but adequate stand-in for translation).
+            let sources = profiles::small_suite(8, 5000, 42);
+            let mut mix = Interleaver::new(sources, 50_000);
+            let mut n = 0u64;
+            while n < refs {
+                match mix.next_event() {
+                    rampage::trace::ScheduleEvent::Record { pid, record } => {
+                        let pa = PhysAddr(((pid.0 as u64) << 40) | record.addr.0);
+                        mc.access(pa, record.kind.is_write());
+                        n += 1;
+                    }
+                    rampage::trace::ScheduleEvent::Switch { .. } => {}
+                    rampage::trace::ScheduleEvent::Finished => break,
+                }
+            }
+
+            let p = mc.profile();
+            t.row(vec![
+                name.into(),
+                block.to_string(),
+                p.misses().to_string(),
+                p.compulsory.to_string(),
+                p.capacity.to_string(),
+                p.conflict.to_string(),
+                format!("{:.1}%", 100.0 * p.conflict_share()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Full associativity (approximated by 16-way) zeroes the conflict\n\
+         column — the misses RAMpage's paged SRAM never takes. What remains\n\
+         (compulsory + capacity) is the floor both hierarchies share."
+    );
+}

@@ -1,0 +1,48 @@
+//! Workload anatomy: inspect the synthetic Table 2 suite — reference
+//! mixes, footprints, and how they compare to the paper's numbers.
+//!
+//! ```text
+//! cargo run --release --example workload_anatomy [--refs 100000]
+//! ```
+
+use rampage::trace::{profiles, TraceStats};
+use rampage_core::TableBuilder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let refs: u64 = args
+        .iter()
+        .position(|a| a == "--refs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+
+    println!("Synthetic Table 2 suite, {refs} references sampled per program\n");
+    let mut t = TableBuilder::new(vec![
+        "program".into(),
+        "ifetch % (Table 2)".into(),
+        "ifetch % (measured)".into(),
+        "write %".into(),
+        "4K pages touched".into(),
+        "32B blocks touched".into(),
+    ]);
+    for p in &profiles::TABLE2 {
+        let mut src = p.source(1, 7); // full-volume source, sampled below
+        let stats = TraceStats::collect(&mut src, refs, 32, 4096);
+        let mix = stats.mix();
+        t.row(vec![
+            p.name.to_string(),
+            format!("{:.1}", 100.0 * p.ifetch_frac()),
+            format!("{:.1}", 100.0 * mix.ifetch),
+            format!("{:.1}", 100.0 * mix.write),
+            stats.unique_pages.to_string(),
+            stats.unique_blocks.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The measured instruction-fetch fractions track Table 2's numbers;\n\
+         footprints span TLB reach (64 x 4 KB = 256 KB) and stress the 4 MB\n\
+         SRAM level once all 18 programs are interleaved."
+    );
+}

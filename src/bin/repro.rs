@@ -1,0 +1,261 @@
+//! Regenerates every table and figure of the RAMpage paper.
+//!
+//! ```text
+//! repro [--scale N] [--nbench N] [--out DIR] <artifact>...
+//!
+//! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
+//!            ablations perbench diag all
+//! ```
+//!
+//! `--scale N` divides the paper's 1.1-billion-reference trace volume
+//! (default 50; use 1 for the full volume). Results are printed as text
+//! tables and, with `--out`, also dumped as JSON for EXPERIMENTS.md.
+
+use rampage_core::experiments::{
+    ablations, anatomy, fig5, figures, per_benchmark, table1, table2, table3, table4, table5,
+    timeslice, Workload, PAPER_SIZES,
+};
+use rampage_core::IssueRate;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Options {
+    scale: u64,
+    nbench: usize,
+    out_dir: Option<String>,
+    artifacts: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 50,
+        nbench: 18,
+        out_dir: None,
+        artifacts: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if opts.scale == 0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--nbench" => {
+                let v = args.next().ok_or("--nbench needs a value")?;
+                opts.nbench = v.parse().map_err(|_| format!("bad nbench: {v}"))?;
+                if !(1..=18).contains(&opts.nbench) {
+                    return Err("nbench must be 1..=18".into());
+                }
+            }
+            "--out" => opts.out_dir = Some(args.next().ok_or("--out needs a directory")?),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}\n{USAGE}")),
+            other => opts.artifacts.push(other.to_string()),
+        }
+    }
+    if opts.artifacts.is_empty() {
+        return Err(USAGE.into());
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--out DIR] \
+<table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...";
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let workload = Workload {
+        nbench: opts.nbench,
+        scale: opts.scale,
+        seed: 0x7a9e,
+    };
+    eprintln!(
+        "# workload: {} benchmarks, scale 1/{}, {} total refs",
+        workload.nbench,
+        workload.scale,
+        workload.total_refs()
+    );
+
+    let mut wanted: Vec<String> = opts.artifacts.clone();
+    if wanted.iter().any(|a| a == "all") {
+        wanted = [
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "table4", "table5", "fig5",
+            "ablations", "perbench", "anatomy", "timeslice",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    // Table 3 feeds figs 2-4 and Table 4; compute it lazily, once.
+    let mut t3_cache: Option<table3::Table3> = None;
+    let mut t4_cache: Option<table4::Table4> = None;
+    let mut t5_cache: Option<table5::Table5> = None;
+    let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+
+    let needs_t3 = |a: &str| matches!(a, "table3" | "fig2" | "fig3" | "fig4" | "table4" | "fig5");
+    let get_t3 = |cache: &mut Option<table3::Table3>, w: &Workload| -> table3::Table3 {
+        cache
+            .get_or_insert_with(|| {
+                let t0 = Instant::now();
+                let t = table3::run_paper(w);
+                eprintln!("# table3 sweep took {:.1}s", t0.elapsed().as_secs_f64());
+                t
+            })
+            .clone()
+    };
+
+    for artifact in &wanted {
+        let t0 = Instant::now();
+        let text = match artifact.as_str() {
+            "table1" => {
+                let t = table1::run();
+                json.insert("table1".into(), serde_json::to_value(&t.rows).unwrap());
+                t.render()
+            }
+            "table2" => table2::render(),
+            a if needs_t3(a) => {
+                let t3 = get_t3(&mut t3_cache, &workload);
+                match a {
+                    "table3" => {
+                        json.insert("table3".into(), serde_json::to_value(&t3).unwrap());
+                        t3.render()
+                    }
+                    "fig2" => {
+                        let f = figures::level_figure(&t3, 200, "Figure 2");
+                        json.insert("fig2".into(), serde_json::to_value(&f).unwrap());
+                        f.render()
+                    }
+                    "fig3" => {
+                        let f = figures::level_figure(&t3, 4000, "Figure 3");
+                        json.insert("fig3".into(), serde_json::to_value(&f).unwrap());
+                        f.render()
+                    }
+                    "fig4" => {
+                        let f = figures::figure4(&t3);
+                        json.insert("fig4".into(), serde_json::to_value(&f).unwrap());
+                        f.render()
+                    }
+                    "table4" => {
+                        let t4 = t4_cache
+                            .get_or_insert_with(|| table4::run(&workload, &t3))
+                            .clone();
+                        json.insert("table4".into(), serde_json::to_value(&t4).unwrap());
+                        t4.render()
+                    }
+                    "fig5" => {
+                        let t4 = t4_cache
+                            .get_or_insert_with(|| table4::run(&workload, &t3))
+                            .clone();
+                        let t5 = t5_cache
+                            .get_or_insert_with(|| {
+                                table5::run(&workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
+                            })
+                            .clone();
+                        let f = fig5::derive(&t4, &t5);
+                        json.insert("fig5".into(), serde_json::to_value(&f).unwrap());
+                        f.render()
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "table5" => {
+                let t5 = t5_cache
+                    .get_or_insert_with(|| {
+                        table5::run(&workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
+                    })
+                    .clone();
+                json.insert("table5".into(), serde_json::to_value(&t5).unwrap());
+                t5.render()
+            }
+            "diag" => {
+                use rampage_core::experiments::{run_config, PAPER_SIZES};
+                use rampage_core::SystemConfig;
+                let mut out = String::from(
+                    "diag: per-config detail @ 1 GHz\nsystem size secs cpr l1i% l1d% l2% tlb% ovh% dram_ev frac(L1i/L1d/L2S/DRAM/idle)\n",
+                );
+                for &size in &PAPER_SIZES {
+                    for (name, cfg) in [
+                        ("DM   ", SystemConfig::baseline(IssueRate::GHZ1, size)),
+                        ("RAMp ", SystemConfig::rampage(IssueRate::GHZ1, size)),
+                        ("2way ", SystemConfig::two_way(IssueRate::GHZ1, size)),
+                    ] {
+                        let c = run_config(&cfg, &workload);
+                        let f = c.fractions;
+                        out.push_str(&format!(
+                            "{name} {size:5} {:.4} {:.2} {:.2} {:.2} {:.2} {:.2} {:.1} {} {:.2}/{:.2}/{:.2}/{:.2}/{:.2}\n",
+                            c.seconds,
+                            c.cycles_per_ref,
+                            100.0 * c.l1i_miss_ratio,
+                            100.0 * c.l1d_miss_ratio,
+                            100.0 * c.l2_miss_ratio,
+                            100.0 * c.tlb_miss_ratio,
+                            100.0 * c.overhead,
+                            c.dram_events,
+                            f.l1i, f.l1d, f.l2_sram, f.dram, f.idle
+                        ));
+                    }
+                }
+                out
+            }
+            "anatomy" => {
+                let a = anatomy::run(&workload, IssueRate::GHZ1, &PAPER_SIZES);
+                json.insert("anatomy".into(), serde_json::to_value(&a).unwrap());
+                a.render()
+            }
+            "timeslice" => {
+                let ts = timeslice::run(
+                    &workload,
+                    &[IssueRate::MHZ200, IssueRate::GHZ1, IssueRate::GHZ4],
+                    &PAPER_SIZES,
+                    timeslice::DEFAULT_SLICE_PS,
+                );
+                json.insert("timeslice".into(), serde_json::to_value(&ts).unwrap());
+                ts.render()
+            }
+            "perbench" => {
+                // Each program alone: give each the average per-program
+                // volume of the interleaved workload.
+                let refs = (61_000_000 / opts.scale).max(10_000);
+                let s = per_benchmark::run(IssueRate::GHZ1, &PAPER_SIZES, refs, 0x7a9e);
+                json.insert("perbench".into(), serde_json::to_value(&s).unwrap());
+                s.render()
+            }
+            "ablations" => {
+                let a = ablations::run(&workload, IssueRate::GHZ1, 1024);
+                json.insert("ablations".into(), serde_json::to_value(&a).unwrap());
+                a.render()
+            }
+            other => {
+                eprintln!("unknown artifact: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        eprintln!("# {artifact} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = format!("{dir}/results.json");
+        let mut f = std::fs::File::create(&path).expect("create results.json");
+        let doc = serde_json::json!({
+            "scale": opts.scale,
+            "nbench": opts.nbench,
+            "results": json,
+        });
+        writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap()).expect("write json");
+        eprintln!("# wrote {path}");
+    }
+}

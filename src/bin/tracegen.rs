@@ -1,0 +1,139 @@
+//! Generate synthetic Table 2 traces as files (Dinero `.din` text or the
+//! compact binary format), and inspect existing trace files.
+//!
+//! ```text
+//! tracegen gen  <program|all> <out-dir> [--refs N] [--seed S] [--format din|bin]
+//! tracegen info <file.din|file.bin> [--limit N]
+//! ```
+//!
+//! The `.din` output is the classic Dinero format the paper's Tracebase
+//! traces used, so generated workloads can drive other cache simulators.
+
+use rampage_trace::io::{BinReader, BinWriter, DinReader, DinWriter};
+use rampage_trace::{profiles, TraceStats};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+const USAGE: &str = "usage:
+  tracegen gen  <program|all> <out-dir> [--refs N] [--seed S] [--format din|bin]
+  tracegen info <file.din|file.bin> [--limit N]";
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("tracegen: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let program = args.first().ok_or(USAGE)?;
+    let out_dir = args.get(1).ok_or(USAGE)?;
+    let refs: u64 = flag_value(args, "--refs")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1_000_000);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(0x7a9e);
+    let format = flag_value(args, "--format").unwrap_or_else(|| "din".into());
+    std::fs::create_dir_all(out_dir)?;
+
+    let selected: Vec<_> = profiles::TABLE2
+        .iter()
+        .filter(|p| program == "all" || p.name == *program)
+        .collect();
+    if selected.is_empty() {
+        return Err(format!(
+            "unknown program {program:?}; expected one of: all, {}",
+            profiles::TABLE2
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .into());
+    }
+
+    for p in selected {
+        // Scale each program so it contributes ~`refs` references.
+        let scale = (((p.refs_millions * 1e6) as u64) / refs).max(1);
+        let mut src = p.source(scale, seed);
+        let path = format!("{out_dir}/{}.{format}", p.name);
+        let file = BufWriter::new(File::create(&path)?);
+        let written = match format.as_str() {
+            "din" => {
+                let mut w = DinWriter::new(file);
+                let n = rampage_trace::io::copy_din(&mut src, &mut w)?;
+                w.finish()?;
+                n
+            }
+            "bin" => {
+                let mut w = BinWriter::new(file)?;
+                let n = rampage_trace::io::copy_bin(&mut src, &mut w)?;
+                w.finish()?;
+                n
+            }
+            other => return Err(format!("unknown format {other:?} (din|bin)").into()),
+        };
+        println!("{path}: {written} references");
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or(USAGE)?;
+    let limit: u64 = flag_value(args, "--limit")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(u64::MAX);
+
+    let stats = if path.ends_with(".bin") {
+        let mut r = BinReader::new(BufReader::new(File::open(path)?))?;
+        let s = TraceStats::collect(&mut r, limit, 32, 4096);
+        if let Some(e) = r.error() {
+            return Err(format!("{e}").into());
+        }
+        s
+    } else {
+        let mut r = DinReader::new(BufReader::new(File::open(path)?));
+        let s = TraceStats::collect(&mut r, limit, 32, 4096);
+        if let Some(e) = r.error() {
+            return Err(format!("{e}").into());
+        }
+        s
+    };
+
+    let mix = stats.mix();
+    println!("{path}:");
+    println!("  references : {}", stats.total);
+    println!(
+        "  mix        : {:.1}% ifetch, {:.1}% read, {:.1}% write",
+        100.0 * mix.ifetch,
+        100.0 * mix.read,
+        100.0 * mix.write
+    );
+    println!(
+        "  footprint  : {} x 32 B blocks, {} x 4 KiB pages ({} KiB)",
+        stats.unique_blocks,
+        stats.unique_pages,
+        stats.page_footprint_bytes(4096) / 1024
+    );
+    Ok(())
+}
