@@ -2,13 +2,19 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rampage_bench::{bench_workload, render_workload};
-use rampage_core::experiments::{ablations, run_config};
+use rampage_core::experiments::{ablations, run_config, SweepRunner};
 use rampage_core::{IssueRate, SystemConfig};
 
 fn bench_ablations(c: &mut Criterion) {
     println!(
         "{}",
-        ablations::run(&render_workload(), IssueRate::GHZ1, 1024).render()
+        ablations::run(
+            &SweepRunner::new(0),
+            &render_workload(),
+            IssueRate::GHZ1,
+            1024
+        )
+        .render()
     );
 
     let w = bench_workload();

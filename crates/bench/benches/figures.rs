@@ -3,21 +3,22 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rampage_bench::render_workload;
-use rampage_core::experiments::{fig5, figures, table3, table4, table5};
+use rampage_core::experiments::{fig5, figures, table3, table4, table5, SweepRunner};
 use rampage_core::IssueRate;
 
 fn bench_figures(c: &mut Criterion) {
+    let runner = SweepRunner::new(0);
     let w = render_workload();
     let rates = [IssueRate::MHZ200, IssueRate::GHZ4];
     let sizes = [128u64, 512, 2048, 4096];
-    let t3 = table3::run(&w, &rates, &sizes);
+    let t3 = table3::run(&runner, &w, &rates, &sizes);
 
     println!("{}", figures::level_figure(&t3, 200, "Figure 2").render());
     println!("{}", figures::level_figure(&t3, 4000, "Figure 3").render());
     println!("{}", figures::figure4(&t3).render());
 
-    let t4 = table4::run(&w, &t3);
-    let t5 = table5::run(&w, &rates, &sizes);
+    let t4 = table4::run(&runner, &w, &t3);
+    let t5 = table5::run(&runner, &w, &rates, &sizes);
     println!("{}", fig5::derive(&t4, &t5).render());
 
     // The extraction/derivation steps themselves (post-simulation

@@ -1,0 +1,61 @@
+//! SweepRunner bench: the same Table 3-shaped batch executed serially
+//! and through the worker pool, so the parallel speedup (and the cell
+//! cache's dedup win) is measured directly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rampage_bench::bench_workload;
+use rampage_core::experiments::{Job, SweepRunner, PAPER_SIZES};
+use rampage_core::{IssueRate, SystemConfig};
+
+fn batch() -> Vec<Job> {
+    let w = bench_workload();
+    let mut jobs = Vec::new();
+    for &rate in &[IssueRate::MHZ200, IssueRate::GHZ1, IssueRate::GHZ4] {
+        for &size in &PAPER_SIZES {
+            jobs.push(Job::new(SystemConfig::baseline(rate, size), w));
+            jobs.push(Job::new(SystemConfig::rampage(rate, size), w));
+        }
+    }
+    jobs
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let jobs = batch();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "runner bench: {} jobs per batch, {} cores available",
+        jobs.len(),
+        cores
+    );
+
+    let mut worker_counts = vec![1usize, 2, cores];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    let mut g = c.benchmark_group("runner");
+    g.sample_size(10);
+    for &workers in &worker_counts {
+        g.bench_with_input(
+            BenchmarkId::new("cold_batch", workers),
+            &workers,
+            |b, &workers| {
+                // A fresh runner per iteration: every cell is simulated.
+                b.iter(|| {
+                    let runner = SweepRunner::new(workers);
+                    black_box(runner.run_batch(&jobs))
+                })
+            },
+        );
+    }
+    // The warm path: every job is already cached, so this measures pure
+    // cache-lookup overhead.
+    let warm = SweepRunner::new(cores);
+    warm.run_batch(&jobs);
+    g.bench_function("warm_batch", |b| {
+        b.iter(|| black_box(warm.run_batch(&jobs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

@@ -9,9 +9,7 @@ fn bench_table1(c: &mut Criterion) {
     // Regenerate the artifact once so `cargo bench` output contains it.
     println!("{}", table1::run().render());
 
-    c.bench_function("table1/full_table", |b| {
-        b.iter(|| black_box(table1::run()))
-    });
+    c.bench_function("table1/full_table", |b| b.iter(|| black_box(table1::run())));
 
     let rambus = DirectRambus::non_pipelined();
     let disk = Disk::paper_example();

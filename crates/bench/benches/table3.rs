@@ -3,12 +3,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rampage_bench::{bench_workload, render_workload};
-use rampage_core::experiments::{run_config, table3};
+use rampage_core::experiments::{run_config, table3, SweepRunner};
 use rampage_core::{IssueRate, SystemConfig};
 
 fn bench_table3(c: &mut Criterion) {
     // One-shot reduced regeneration (two rates, full size sweep).
     let t3 = table3::run(
+        &SweepRunner::new(0),
         &render_workload(),
         &[IssueRate::MHZ200, IssueRate::GHZ4],
         &[128, 256, 512, 1024, 2048, 4096],
@@ -19,14 +20,10 @@ fn bench_table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
     for &size in &[128u64, 1024, 4096] {
-        g.bench_with_input(
-            BenchmarkId::new("baseline", size),
-            &size,
-            |b, &size| {
-                let cfg = SystemConfig::baseline(IssueRate::GHZ1, size);
-                b.iter(|| black_box(run_config(&cfg, &w)))
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("baseline", size), &size, |b, &size| {
+            let cfg = SystemConfig::baseline(IssueRate::GHZ1, size);
+            b.iter(|| black_box(run_config(&cfg, &w)))
+        });
         g.bench_with_input(BenchmarkId::new("rampage", size), &size, |b, &size| {
             let cfg = SystemConfig::rampage(IssueRate::GHZ1, size);
             b.iter(|| black_box(run_config(&cfg, &w)))

@@ -2,14 +2,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rampage_bench::{bench_workload, render_workload};
-use rampage_core::experiments::{run_config, table3, table4};
+use rampage_core::experiments::{run_config, table3, table4, SweepRunner};
 use rampage_core::{IssueRate, SystemConfig};
 
 fn bench_table4(c: &mut Criterion) {
     // Reduced regeneration: one fast rate where switching matters most.
+    let runner = SweepRunner::new(0);
     let w = render_workload();
-    let t3 = table3::run(&w, &[IssueRate::GHZ4], &[512, 1024, 2048, 4096]);
-    let t4 = table4::run(&w, &t3);
+    let t3 = table3::run(&runner, &w, &[IssueRate::GHZ4], &[512, 1024, 2048, 4096]);
+    let t4 = table4::run(&runner, &w, &t3);
     println!("{}", t4.render());
 
     let w = bench_workload();

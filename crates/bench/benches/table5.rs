@@ -2,11 +2,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rampage_bench::{bench_workload, render_workload};
-use rampage_core::experiments::{run_config, table5};
+use rampage_core::experiments::{run_config, table5, SweepRunner};
 use rampage_core::{IssueRate, SystemConfig};
 
 fn bench_table5(c: &mut Criterion) {
     let t5 = table5::run(
+        &SweepRunner::new(0),
         &render_workload(),
         &[IssueRate::MHZ200, IssueRate::GHZ4],
         &[128, 256, 512, 1024, 2048, 4096],

@@ -16,6 +16,7 @@ pub fn bench_workload() -> Workload {
         nbench: 4,
         scale: 10_000,
         seed: 0xbe7c4,
+        solo: None,
     }
 }
 
@@ -26,6 +27,7 @@ pub fn render_workload() -> Workload {
         nbench: 8,
         scale: 2_000,
         seed: 0xbe7c4,
+        solo: None,
     }
 }
 

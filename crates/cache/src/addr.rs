@@ -1,6 +1,5 @@
 //! Physical addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A physical address.
@@ -9,9 +8,7 @@ use std::fmt;
 /// hierarchy it addresses the SRAM main memory. Keeping it a distinct type
 /// from `rampage_trace::VirtAddr` means translation can never be skipped by
 /// accident — caches only accept [`PhysAddr`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {

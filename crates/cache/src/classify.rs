@@ -11,11 +11,10 @@ use crate::addr::PhysAddr;
 use crate::cache::Cache;
 use crate::geometry::Geometry;
 use crate::policy::ReplacementPolicy;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The class of one miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MissClass {
     /// First-ever reference to the block (cold).
     Compulsory,
@@ -26,7 +25,7 @@ pub enum MissClass {
 }
 
 /// Counts per class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MissProfile {
     /// Hits observed.
     pub hits: u64,
@@ -203,7 +202,7 @@ mod tests {
         let mut mc = dm(1024, 32);
         mc.access(PhysAddr(0), false); // compulsory
         mc.access(PhysAddr(1024), false); // compulsory, evicts 0 in DM
-        // Both fit easily in a 32-block FA cache, so these are conflicts.
+                                          // Both fit easily in a 32-block FA cache, so these are conflicts.
         assert_eq!(mc.access(PhysAddr(0), false), Some(MissClass::Conflict));
         assert_eq!(mc.access(PhysAddr(1024), false), Some(MissClass::Conflict));
         assert_eq!(mc.profile().conflict, 2);
@@ -229,10 +228,8 @@ mod tests {
     #[test]
     fn associativity_turns_conflicts_into_hits() {
         // Same ping-pong, 2-way: no misses after the cold ones.
-        let mut mc = MissClassifier::new(
-            Geometry::new(1024, 32, 2).unwrap(),
-            ReplacementPolicy::Lru,
-        );
+        let mut mc =
+            MissClassifier::new(Geometry::new(1024, 32, 2).unwrap(), ReplacementPolicy::Lru);
         mc.access(PhysAddr(0), false);
         mc.access(PhysAddr(1024), false);
         assert_eq!(mc.access(PhysAddr(0), false), None);

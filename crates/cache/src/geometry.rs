@@ -1,7 +1,6 @@
 //! Cache size/block/way arithmetic.
 
 use crate::addr::PhysAddr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors from [`Geometry::new`].
@@ -41,7 +40,7 @@ impl std::error::Error for GeometryError {}
 /// assert_eq!(g.sets(), (4 << 20) / 128 / 2);
 /// assert_eq!(g.blocks(), (4 << 20) / 128);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Geometry {
     size: u64,
     block: u64,

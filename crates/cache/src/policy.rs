@@ -1,6 +1,5 @@
 //! Replacement policies for set-associative caches.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which block of a set to evict on a miss.
@@ -9,7 +8,7 @@ use std::fmt;
 /// "more realistic" L2 uses random replacement (§4.7); the TLB in
 /// `rampage-vm` also uses random replacement (§4.3). LRU and FIFO are
 /// provided for ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used way.
     Lru,

@@ -1,11 +1,10 @@
 //! Hit/miss accounting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
 
 /// Counters a cache accumulates as it is exercised.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Read (or fetch) accesses that hit.
     pub read_hits: u64,

@@ -50,11 +50,7 @@ impl VictimCache {
             dirty: ev.dirty,
         };
         // Re-inserting an existing block just refreshes dirtiness.
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.addr == aligned.addr)
-        {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.addr == aligned.addr) {
             e.dirty |= aligned.dirty;
             return None;
         }

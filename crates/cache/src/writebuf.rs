@@ -1,7 +1,5 @@
 //! Write-buffer model.
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's "perfect write buffering" (§4.3): write hits take zero
 /// effective time because a buffer absorbs them.
 ///
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Drain modelling is deliberately simple: each elapsed "drain opportunity"
 /// (reported by the caller via [`drain`](WriteBuffer::drain)) retires one
 /// buffered write.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WriteBuffer {
     depth: Option<usize>,
     occupied: usize,

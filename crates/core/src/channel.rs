@@ -189,10 +189,7 @@ mod tests {
         assert_eq!(t2.start, t1.done);
         let d2 = t2.done - t2.start;
         // 80 ns of data / 0.95 ≈ 84.2 ns, far below the 130 ns isolated.
-        assert!(
-            d2 < Picos::from_nanos(100),
-            "queued transfer cheaper: {d2}"
-        );
+        assert!(d2 < Picos::from_nanos(100), "queued transfer cheaper: {d2}");
     }
 
     #[test]
@@ -211,6 +208,10 @@ mod tests {
         let t = ch.request(Picos::ZERO, 128);
         assert_eq!(ch.busy_until(), t.done);
         let t2 = ch.request(t.done + Picos::from_nanos(1000), 128);
-        assert_eq!(t2.start, t.done + Picos::from_nanos(1000), "idle gap respected");
+        assert_eq!(
+            t2.start,
+            t.done + Picos::from_nanos(1000),
+            "idle gap respected"
+        );
     }
 }

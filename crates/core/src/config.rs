@@ -5,7 +5,6 @@ use rampage_cache::{Geometry, ReplacementPolicy};
 use rampage_dram::DramModel;
 use rampage_vm::os::OsCosts;
 use rampage_vm::PageSize;
-use serde::{Deserialize, Serialize};
 
 /// L1 miss penalty to L2 / SRAM main memory, in CPU cycles (§4.3).
 pub const L1_MISS_PENALTY: u64 = 12;
@@ -26,7 +25,7 @@ pub const SRAM_BASE_SIZE: u64 = 4 << 20;
 pub const TAG_BYTES_PER_BLOCK: u64 = 4;
 
 /// Which DRAM timing model a system uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DramKind {
     /// Non-pipelined Direct Rambus — the paper's configuration (§4.3).
     Rambus,
@@ -49,7 +48,7 @@ impl DramKind {
 }
 
 /// L1 cache parameters (each of the I and D caches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L1Config {
     /// Capacity in bytes.
     pub size: u64,
@@ -90,7 +89,7 @@ impl L1Config {
 }
 
 /// L2 cache parameters (conventional hierarchy only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
     /// Capacity in bytes (the paper uses 4 MB throughout).
     pub size: u64,
@@ -134,7 +133,7 @@ impl L2Config {
 }
 
 /// RAMpage SRAM-main-memory parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RampageConfig {
     /// SRAM page size (swept 128 B – 4 KB).
     pub page_size: PageSize,
@@ -177,7 +176,7 @@ impl RampageConfig {
 }
 
 /// TLB parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Number of sets (1 = fully associative).
     pub sets: usize,
@@ -193,10 +192,7 @@ impl TlbConfig {
 
     /// The §6.3 future-work TLB: 1 K entries, 2-way.
     pub fn large_2way() -> Self {
-        TlbConfig {
-            sets: 512,
-            ways: 2,
-        }
+        TlbConfig { sets: 512, ways: 2 }
     }
 
     /// Total entries.
@@ -206,7 +202,7 @@ impl TlbConfig {
 }
 
 /// Which memory system sits below L1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HierarchyKind {
     /// Conventional L2 cache over DRAM.
     Conventional(L2Config),
@@ -225,7 +221,7 @@ impl HierarchyKind {
 }
 
 /// A complete simulated system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Instruction issue rate.
     pub issue: IssueRate,
@@ -317,7 +313,10 @@ impl SystemConfig {
 
     /// The RAMpage system at the given SRAM page size (§4.5).
     pub fn rampage(issue: IssueRate, page_size: u64) -> Self {
-        SystemConfig::common(issue, HierarchyKind::Rampage(RampageConfig::paper(page_size)))
+        SystemConfig::common(
+            issue,
+            HierarchyKind::Rampage(RampageConfig::paper(page_size)),
+        )
     }
 
     /// RAMpage with context switches on misses (§4.6 / Table 4); also
@@ -395,11 +394,15 @@ mod tests {
     #[test]
     fn unit_bytes_reads_the_sweep_axis() {
         assert_eq!(
-            SystemConfig::baseline(IssueRate::GHZ1, 256).hierarchy.unit_bytes(),
+            SystemConfig::baseline(IssueRate::GHZ1, 256)
+                .hierarchy
+                .unit_bytes(),
             256
         );
         assert_eq!(
-            SystemConfig::rampage(IssueRate::GHZ1, 2048).hierarchy.unit_bytes(),
+            SystemConfig::rampage(IssueRate::GHZ1, 2048)
+                .hierarchy
+                .unit_bytes(),
             2048
         );
     }

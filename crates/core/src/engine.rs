@@ -40,7 +40,7 @@ pub struct RunOutcome {
 }
 
 /// How one process fared within the multiprogrammed run.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessSummary {
     /// The trace's name (its Table 2 program, for suite workloads).
     pub name: String,
@@ -230,7 +230,9 @@ impl Engine {
                         self.metrics.time.l1i_cycles += 1;
                         self.now += self.cycle;
                     }
-                    let out = self.system.access_user(asid, rec, self.now, &mut self.metrics);
+                    let out = self
+                        .system
+                        .access_user(asid, rec, self.now, &mut self.metrics);
                     self.now += Picos(out.stall_cycles * self.cycle.0);
                     self.processes[self.current].stall_cycles += out.stall_cycles;
                     if let Some(ready_at) = out.blocked_until {

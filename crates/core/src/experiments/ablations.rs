@@ -7,13 +7,14 @@
 //! so the marginal effect of each design choice is isolated.
 
 use crate::config::{DramKind, HierarchyKind, L1Config, SystemConfig, TlbConfig};
-use crate::experiments::common::{run_config, Cell, Workload};
+use crate::experiments::common::{Cell, Workload};
+use crate::experiments::runner::{Job, SweepRunner};
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// Which knob an ablation turns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Knob {
     /// The unmodified configuration.
     Base,
@@ -105,7 +106,7 @@ impl Knob {
 }
 
 /// One ablation's outcome on both systems.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Which knob.
     pub knob: Knob,
@@ -116,7 +117,7 @@ pub struct AblationRow {
 }
 
 /// The ablation study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ablations {
     /// Issue rate used (MHz).
     pub issue_mhz: u32,
@@ -126,26 +127,64 @@ pub struct Ablations {
     pub rows: Vec<AblationRow>,
 }
 
-/// Run every knob at one issue rate and size.
-pub fn run(workload: &Workload, issue: IssueRate, unit_bytes: u64) -> Ablations {
+/// Run every knob at one issue rate and size. The `Base` knob's pair
+/// matches Table 4's and Table 5's cells at this rate/size, so a shared
+/// cell cache turns them into hits.
+pub fn run(
+    runner: &SweepRunner,
+    workload: &Workload,
+    issue: IssueRate,
+    unit_bytes: u64,
+) -> Ablations {
+    let jobs: Vec<Job> = Knob::ALL
+        .iter()
+        .flat_map(|&knob| {
+            [
+                Job::new(
+                    knob.apply(SystemConfig::rampage_switching(issue, unit_bytes)),
+                    *workload,
+                ),
+                Job::new(
+                    knob.apply(SystemConfig::two_way(issue, unit_bytes)),
+                    *workload,
+                ),
+            ]
+        })
+        .collect();
+    let cells = runner.run_batch(&jobs);
     let rows = Knob::ALL
         .iter()
-        .map(|&knob| AblationRow {
+        .zip(cells.chunks_exact(2))
+        .map(|(&knob, pair)| AblationRow {
             knob,
-            rampage: run_config(
-                &knob.apply(SystemConfig::rampage_switching(issue, unit_bytes)),
-                workload,
-            ),
-            two_way: run_config(
-                &knob.apply(SystemConfig::two_way(issue, unit_bytes)),
-                workload,
-            ),
+            rampage: pair[0],
+            two_way: pair[1],
         })
         .collect();
     Ablations {
         issue_mhz: issue.mhz(),
         unit_bytes,
         rows,
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        obj! {
+            "knob" => self.knob.label(),
+            "rampage" => self.rampage,
+            "two_way" => self.two_way,
+        }
+    }
+}
+
+impl ToJson for Ablations {
+    fn to_json(&self) -> Json {
+        obj! {
+            "issue_mhz" => self.issue_mhz,
+            "unit_bytes" => self.unit_bytes,
+            "rows" => self.rows,
+        }
     }
 }
 
@@ -164,14 +203,22 @@ impl Ablations {
             t.row(vec![
                 row.knob.label().to_string(),
                 format!("{:.3}", row.rampage.seconds),
-                format!("{:+.1}%", 100.0 * (row.rampage.seconds / base.rampage.seconds - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (row.rampage.seconds / base.rampage.seconds - 1.0)
+                ),
                 format!("{:.3}", row.two_way.seconds),
-                format!("{:+.1}%", 100.0 * (row.two_way.seconds / base.two_way.seconds - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (row.two_way.seconds / base.two_way.seconds - 1.0)
+                ),
             ]);
         }
         format!(
             "Ablations (§6.3 future work), {} MHz, {} B pages/blocks\n{}",
-            self.issue_mhz, self.unit_bytes, t.render()
+            self.issue_mhz,
+            self.unit_bytes,
+            t.render()
         )
     }
 }
@@ -186,7 +233,10 @@ mod tests {
         assert_eq!(Knob::Base.apply(base), base);
         assert_eq!(Knob::LargeTlb.apply(base).tlb.entries(), 1024);
         assert_eq!(Knob::AggressiveL1.apply(base).l1.ways, 2);
-        assert_eq!(Knob::PipelinedRambus.apply(base).dram, DramKind::RambusPipelined);
+        assert_eq!(
+            Knob::PipelinedRambus.apply(base).dram,
+            DramKind::RambusPipelined
+        );
         assert_eq!(Knob::SdramDevice.apply(base).dram, DramKind::Sdram);
         match Knob::StandbyList.apply(base).hierarchy {
             HierarchyKind::Rampage(r) => assert_eq!(r.standby_pages, Some(256)),
@@ -199,7 +249,12 @@ mod tests {
 
     #[test]
     fn study_runs_all_knobs() {
-        let a = run(&Workload::quick(), IssueRate::GHZ1, 1024);
+        let a = run(
+            &SweepRunner::serial(),
+            &Workload::quick(),
+            IssueRate::GHZ1,
+            1024,
+        );
         assert_eq!(a.rows.len(), Knob::ALL.len());
         for row in &a.rows {
             assert!(row.rampage.seconds > 0.0);

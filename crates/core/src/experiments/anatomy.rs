@@ -14,10 +14,10 @@ use crate::experiments::common::Workload;
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
 use rampage_cache::MissProfile;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// One organization's classified misses at one block size.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AnatomyCell {
     /// L2 block size in bytes.
     pub block: u64,
@@ -28,7 +28,7 @@ pub struct AnatomyCell {
 }
 
 /// The study: DM and 2-way L2 across the block-size sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Anatomy {
     /// Issue rate used (MHz) — classification is timing-independent, but
     /// the run needs one.
@@ -62,6 +62,28 @@ pub fn run(workload: &Workload, issue: IssueRate, sizes: &[u64]) -> Anatomy {
     Anatomy {
         issue_mhz: issue.mhz(),
         cells,
+    }
+}
+
+impl ToJson for AnatomyCell {
+    fn to_json(&self) -> Json {
+        obj! {
+            "block" => self.block,
+            "ways" => self.ways,
+            "hits" => self.profile.hits,
+            "compulsory" => self.profile.compulsory,
+            "capacity" => self.profile.capacity,
+            "conflict" => self.profile.conflict,
+        }
+    }
+}
+
+impl ToJson for Anatomy {
+    fn to_json(&self) -> Json {
+        obj! {
+            "issue_mhz" => self.issue_mhz,
+            "cells" => self.cells,
+        }
     }
 }
 

@@ -2,24 +2,31 @@
 
 use crate::config::SystemConfig;
 use crate::engine::Engine;
+use crate::experiments::runner::{Job, SweepRunner};
 use crate::metrics::LevelFractions;
 use crate::time::IssueRate;
+use rampage_json::{obj, Json, ToJson};
 use rampage_trace::{profiles, TraceSource};
-use serde::{Deserialize, Serialize};
 
 /// The block/page size sweep of every table: 128 B – 4 KB.
 pub const PAPER_SIZES: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
 
 /// The multiprogrammed workload driving a sweep: the first `nbench`
-/// programs of Table 2, each at `1/scale` of its paper reference count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// programs of Table 2, each at `1/scale` of its paper reference count —
+/// or, with [`solo`](Workload::solo), one program running alone (the
+/// per-benchmark study's shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
-    /// How many of the 18 Table 2 programs to run.
+    /// How many of the 18 Table 2 programs to run (ignored when `solo`
+    /// is set).
     pub nbench: usize,
     /// Trace-volume divisor (1 = the paper's full 1.1 G references).
     pub scale: u64,
     /// Generator seed.
     pub seed: u64,
+    /// Run a single Table 2 program alone, by index, instead of the
+    /// interleaved suite.
+    pub solo: Option<usize>,
 }
 
 impl Workload {
@@ -29,6 +36,7 @@ impl Workload {
             nbench: profiles::TABLE2.len(),
             scale,
             seed: 0x7a9e,
+            solo: None,
         }
     }
 
@@ -38,23 +46,45 @@ impl Workload {
             nbench: 4,
             scale: 20_000,
             seed: 0x7a9e,
+            solo: None,
+        }
+    }
+
+    /// One Table 2 program (by index) running alone at `1/scale` volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for Table 2.
+    pub fn solo(index: usize, scale: u64, seed: u64) -> Self {
+        assert!(index < profiles::TABLE2.len(), "no Table 2 program {index}");
+        Workload {
+            nbench: 1,
+            scale,
+            seed,
+            solo: Some(index),
+        }
+    }
+
+    /// The profiles this workload draws from.
+    fn profiles(&self) -> &'static [profiles::Profile] {
+        match self.solo {
+            Some(i) => &profiles::TABLE2[i..i + 1],
+            None => &profiles::TABLE2[..self.nbench],
         }
     }
 
     /// Build the trace sources.
     pub fn sources(&self) -> Vec<Box<dyn TraceSource + Send>> {
-        profiles::TABLE2
+        self.profiles()
             .iter()
-            .take(self.nbench)
             .map(|p| Box::new(p.source(self.scale, self.seed)) as Box<dyn TraceSource + Send>)
             .collect()
     }
 
     /// Total references this workload will produce.
     pub fn total_refs(&self) -> u64 {
-        profiles::TABLE2
+        self.profiles()
             .iter()
-            .take(self.nbench)
             .map(|p| p.scaled_refs(self.scale))
             .sum()
     }
@@ -62,7 +92,7 @@ impl Workload {
 
 /// One simulated configuration's results — the unit every table and
 /// figure is assembled from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cell {
     /// L2 block size or SRAM page size in bytes.
     pub unit_bytes: u64,
@@ -88,7 +118,79 @@ pub struct Cell {
     pub l2_miss_ratio: f64,
 }
 
+impl ToJson for LevelFractions {
+    fn to_json(&self) -> Json {
+        obj! {
+            "l1i" => self.l1i,
+            "l1d" => self.l1d,
+            "l2_sram" => self.l2_sram,
+            "dram" => self.dram,
+            "idle" => self.idle,
+        }
+    }
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        obj! {
+            "unit_bytes" => self.unit_bytes,
+            "issue_mhz" => self.issue_mhz,
+            "seconds" => self.seconds,
+            "cycles_per_ref" => self.cycles_per_ref,
+            "fractions" => self.fractions,
+            "overhead" => self.overhead,
+            "dram_events" => self.dram_events,
+            "tlb_miss_ratio" => self.tlb_miss_ratio,
+            "l1i_miss_ratio" => self.l1i_miss_ratio,
+            "l1d_miss_ratio" => self.l1d_miss_ratio,
+            "l2_miss_ratio" => self.l2_miss_ratio,
+        }
+    }
+}
+
+impl ToJson for Workload {
+    fn to_json(&self) -> Json {
+        obj! {
+            "nbench" => self.nbench,
+            "scale" => self.scale,
+            "seed" => self.seed,
+            "solo" => self.solo,
+        }
+    }
+}
+
+impl Cell {
+    /// Rebuild a cell from its [`ToJson`] form (the persisted-cache
+    /// format); `None` on any missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Option<Cell> {
+        let f = doc.get("fractions")?;
+        let fractions = LevelFractions {
+            l1i: f.get("l1i")?.as_f64()?,
+            l1d: f.get("l1d")?.as_f64()?,
+            l2_sram: f.get("l2_sram")?.as_f64()?,
+            dram: f.get("dram")?.as_f64()?,
+            idle: f.get("idle")?.as_f64()?,
+        };
+        Some(Cell {
+            unit_bytes: doc.get("unit_bytes")?.as_u64()?,
+            issue_mhz: doc.get("issue_mhz")?.as_u64()? as u32,
+            seconds: doc.get("seconds")?.as_f64()?,
+            cycles_per_ref: doc.get("cycles_per_ref")?.as_f64()?,
+            fractions,
+            overhead: doc.get("overhead")?.as_f64()?,
+            dram_events: doc.get("dram_events")?.as_u64()?,
+            tlb_miss_ratio: doc.get("tlb_miss_ratio")?.as_f64()?,
+            l1i_miss_ratio: doc.get("l1i_miss_ratio")?.as_f64()?,
+            l1d_miss_ratio: doc.get("l1d_miss_ratio")?.as_f64()?,
+            l2_miss_ratio: doc.get("l2_miss_ratio")?.as_f64()?,
+        })
+    }
+}
+
 /// Run one configuration over a workload and summarize it as a [`Cell`].
+///
+/// This is the raw, uncached simulation; sweeps should go through a
+/// [`SweepRunner`] instead.
 pub fn run_config(cfg: &SystemConfig, workload: &Workload) -> Cell {
     let mut engine = Engine::new(cfg, workload.sources());
     let out = engine.run();
@@ -108,17 +210,20 @@ pub fn run_config(cfg: &SystemConfig, workload: &Workload) -> Cell {
     }
 }
 
-/// Run `make_cfg(issue, size)` over a size sweep at one issue rate.
+/// Run `make_cfg(issue, size)` over a size sweep at one issue rate,
+/// through the runner's pool and cache.
 pub fn sweep_sizes(
+    runner: &SweepRunner,
     make_cfg: impl Fn(IssueRate, u64) -> SystemConfig,
     issue: IssueRate,
     sizes: &[u64],
     workload: &Workload,
 ) -> Vec<Cell> {
-    sizes
+    let jobs: Vec<Job> = sizes
         .iter()
-        .map(|&size| run_config(&make_cfg(issue, size), workload))
-        .collect()
+        .map(|&size| Job::new(make_cfg(issue, size), *workload))
+        .collect();
+    runner.run_batch(&jobs)
 }
 
 #[cfg(test)]
@@ -133,6 +238,14 @@ mod tests {
         // 1.1 G / 1000 ≈ 1.09 M refs.
         assert!((1_000_000..1_200_000).contains(&w.total_refs()));
         assert!(Workload::quick().total_refs() < 20_000);
+    }
+
+    #[test]
+    fn solo_workload_runs_one_program() {
+        let w = Workload::solo(3, 10_000, 7);
+        assert_eq!(w.sources().len(), 1);
+        assert!(w.total_refs() > 0);
+        assert!(w.total_refs() < Workload::paper(10_000).total_refs());
     }
 
     #[test]
@@ -152,6 +265,7 @@ mod tests {
     #[test]
     fn sweep_covers_sizes_in_order() {
         let cells = sweep_sizes(
+            &SweepRunner::serial(),
             SystemConfig::baseline,
             IssueRate::MHZ200,
             &[128, 4096],
@@ -160,5 +274,19 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].unit_bytes, 128);
         assert_eq!(cells[1].unit_bytes, 4096);
+    }
+
+    #[test]
+    fn cell_json_roundtrips_bit_exactly() {
+        let cell = run_config(
+            &SystemConfig::two_way(IssueRate::GHZ4, 256),
+            &Workload::quick(),
+        );
+        let back = Cell::from_json(&cell.to_json()).expect("roundtrip");
+        assert_eq!(back, cell);
+        // Through text as well (the persisted form).
+        let text = cell.to_json().pretty();
+        let back = Cell::from_json(&Json::parse(&text).expect("parses")).expect("roundtrip");
+        assert_eq!(back, cell);
     }
 }

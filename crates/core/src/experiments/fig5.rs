@@ -4,13 +4,13 @@
 use crate::experiments::table4::Table4;
 use crate::experiments::table5::Table5;
 use crate::report::TableBuilder;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// The figure's data: for each issue rate and size, how much slower each
 /// system is than the best time achieved at that rate. The paper plots
 /// "n, where n means 1.n times slower than the best time for each CPU
 /// speed" — i.e. `time / best - 1`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure5 {
     /// Sizes swept.
     pub sizes: Vec<u64>,
@@ -60,6 +60,17 @@ pub fn derive(t4: &Table4, t5: &Table5) -> Figure5 {
     }
 }
 
+impl ToJson for Figure5 {
+    fn to_json(&self) -> Json {
+        obj! {
+            "sizes" => self.sizes,
+            "rates_mhz" => self.rates_mhz,
+            "rampage" => self.rampage,
+            "two_way" => self.two_way,
+        }
+    }
+}
+
 impl Figure5 {
     /// Render both systems' slowdown series.
     pub fn render(&self) -> String {
@@ -99,11 +110,12 @@ mod tests {
     #[test]
     fn derive_produces_nonnegative_slowdowns_with_a_zero() {
         let w = Workload::quick();
+        let runner = crate::experiments::runner::SweepRunner::serial();
         let rates = [IssueRate::GHZ1];
         let sizes = [512, 4096];
-        let t3 = table3::run(&w, &rates, &sizes);
-        let t4 = table4::run(&w, &t3);
-        let t5 = table5::run(&w, &rates, &sizes);
+        let t3 = table3::run(&runner, &w, &rates, &sizes);
+        let t4 = table4::run(&runner, &w, &t3);
+        let t5 = table5::run(&runner, &w, &rates, &sizes);
         let f5 = derive(&t4, &t5);
         let all: Vec<f64> = f5.rampage[0]
             .iter()

@@ -5,11 +5,11 @@
 
 use crate::experiments::table3::Table3;
 use crate::report::TableBuilder;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// One panel of Figure 2/3: per-size level fractions for one system at
 /// one issue rate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LevelPanel {
     /// Panel title ("direct-mapped L2" / "RAMpage").
     pub title: String,
@@ -20,7 +20,7 @@ pub struct LevelPanel {
 }
 
 /// One stacked bar.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Bar {
     /// Block/page size in bytes.
     pub unit_bytes: u64,
@@ -37,7 +37,7 @@ pub struct Bar {
 }
 
 /// Figure 2 (200 MHz) or Figure 3 (4 GHz): both panels at one rate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LevelFigure {
     /// Which figure this is ("Figure 2" / "Figure 3").
     pub name: String,
@@ -81,6 +81,39 @@ pub fn level_figure(table: &Table3, target_mhz: u32, name: &str) -> LevelFigure 
             issue_mhz: mhz,
             bars: to_bars(&table.rampage[idx]),
         },
+    }
+}
+
+impl ToJson for Bar {
+    fn to_json(&self) -> Json {
+        obj! {
+            "unit_bytes" => self.unit_bytes,
+            "l1i" => self.l1i,
+            "l1d" => self.l1d,
+            "l2_sram" => self.l2_sram,
+            "dram" => self.dram,
+            "idle" => self.idle,
+        }
+    }
+}
+
+impl ToJson for LevelPanel {
+    fn to_json(&self) -> Json {
+        obj! {
+            "title" => self.title,
+            "issue_mhz" => self.issue_mhz,
+            "bars" => self.bars,
+        }
+    }
+}
+
+impl ToJson for LevelFigure {
+    fn to_json(&self) -> Json {
+        obj! {
+            "name" => self.name,
+            "cache_panel" => self.cache_panel,
+            "rampage_panel" => self.rampage_panel,
+        }
     }
 }
 
@@ -164,7 +197,7 @@ fn pct(f: f64) -> String {
 /// Figure 4: TLB-miss and page-fault handling overhead (extra handler
 /// references as a fraction of trace references) per size, for both
 /// systems.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4 {
     /// Sizes swept.
     pub sizes: Vec<u64>,
@@ -182,6 +215,16 @@ pub fn figure4(table: &Table3) -> Figure4 {
         sizes: table.sizes.clone(),
         baseline: table.baseline[0].iter().map(|c| c.overhead).collect(),
         rampage: table.rampage[0].iter().map(|c| c.overhead).collect(),
+    }
+}
+
+impl ToJson for Figure4 {
+    fn to_json(&self) -> Json {
+        obj! {
+            "sizes" => self.sizes,
+            "baseline" => self.baseline,
+            "rampage" => self.rampage,
+        }
     }
 }
 
@@ -213,6 +256,7 @@ mod tests {
 
     fn small_table() -> Table3 {
         table3::run(
+            &crate::experiments::runner::SweepRunner::serial(),
             &Workload::quick(),
             &[IssueRate::MHZ200, IssueRate::GHZ4],
             &[128, 4096],
@@ -243,7 +287,10 @@ mod tests {
                 .take_while(|&c| c != '|')
                 .collect();
             assert_eq!(bar.len(), 50, "bar width in {line:?}");
-            assert!(bar.chars().all(|c| "idSD.".contains(c)), "glyphs in {line:?}");
+            assert!(
+                bar.chars().all(|c| "idSD.".contains(c)),
+                "glyphs in {line:?}"
+            );
         }
         assert!(rendered.contains("legend"));
     }
@@ -253,9 +300,12 @@ mod tests {
         let t = small_table();
         let f4 = figure4(&t);
         assert_eq!(f4.sizes, vec![128, 4096]);
-        assert!(f4.rampage[0] > f4.rampage[1],
+        assert!(
+            f4.rampage[0] > f4.rampage[1],
             "RAMpage overhead falls with page size: {} vs {}",
-            f4.rampage[0], f4.rampage[1]);
+            f4.rampage[0],
+            f4.rampage[1]
+        );
         assert!(f4.render().contains("Figure 4"));
     }
 }

@@ -21,12 +21,13 @@
 //! methods that print tables shaped like the paper's.
 
 mod common;
+mod runner;
 
 pub mod ablations;
 pub mod anatomy;
 pub mod fig5;
-pub mod per_benchmark;
 pub mod figures;
+pub mod per_benchmark;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -35,3 +36,4 @@ pub mod table5;
 pub mod timeslice;
 
 pub use common::{run_config, sweep_sizes, Cell, Workload, PAPER_SIZES};
+pub use runner::{CellCache, Job, SweepRunner, CACHE_FORMAT_VERSION};

@@ -13,14 +13,15 @@
 //! §6.2) could buy over the best single fixed size.
 
 use crate::config::SystemConfig;
-use crate::engine::Engine;
+use crate::experiments::common::Workload;
+use crate::experiments::runner::{Job, SweepRunner};
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
-use rampage_trace::{profiles, TraceSource};
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
+use rampage_trace::profiles;
 
 /// One program's sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProgramSweep {
     /// Program name (Table 2).
     pub name: String,
@@ -31,7 +32,7 @@ pub struct ProgramSweep {
 }
 
 /// The whole study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PerBenchmark {
     /// Page sizes swept.
     pub sizes: Vec<u64>,
@@ -48,41 +49,48 @@ pub struct PerBenchmark {
 }
 
 /// Run the study: each program alone, `refs_per_bench` references, at
-/// each page size. The 18 program sweeps are independent, so they run on
-/// scoped threads.
-pub fn run(issue: IssueRate, sizes: &[u64], refs_per_bench: u64, seed: u64) -> PerBenchmark {
-    let sweep_one = |p: &profiles::Profile| -> ProgramSweep {
-        let mut seconds = Vec::with_capacity(sizes.len());
+/// each page size. The 18 × sizes solo runs go through the runner as one
+/// batch, so they spread over the worker pool.
+pub fn run(
+    runner: &SweepRunner,
+    issue: IssueRate,
+    sizes: &[u64],
+    refs_per_bench: u64,
+    seed: u64,
+) -> PerBenchmark {
+    let mut jobs = Vec::with_capacity(profiles::TABLE2.len() * sizes.len());
+    for (pi, p) in profiles::TABLE2.iter().enumerate() {
+        // Scale each program so it contributes ~refs_per_bench references.
+        let scale = (((p.refs_millions * 1e6) as u64) / refs_per_bench).max(1);
         for &size in sizes {
-            let cfg = SystemConfig::rampage(issue, size);
-            let scale = (((p.refs_millions * 1e6) as u64) / refs_per_bench).max(1);
-            let src: Vec<Box<dyn TraceSource + Send>> = vec![Box::new(p.source(scale, seed))];
-            let out = Engine::new(&cfg, src).run();
-            seconds.push(out.seconds);
+            jobs.push(Job::new(
+                SystemConfig::rampage(issue, size),
+                Workload::solo(pi, scale, seed),
+            ));
         }
-        let best_idx = seconds
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("sizes is non-empty");
-        ProgramSweep {
-            name: p.name.to_string(),
-            best_size: sizes[best_idx],
-            seconds,
-        }
-    };
-    let programs: Vec<ProgramSweep> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = profiles::TABLE2
-            .iter()
-            .map(|p| s.spawn(move |_| sweep_one(p)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
+    }
+    let mut cells = runner.run_batch(&jobs).into_iter();
+    let programs: Vec<ProgramSweep> = profiles::TABLE2
+        .iter()
+        .map(|p| {
+            let seconds: Vec<f64> = cells
+                .by_ref()
+                .take(sizes.len())
+                .map(|c| c.seconds)
+                .collect();
+            let best_idx = seconds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("sizes is non-empty");
+            ProgramSweep {
+                name: p.name.to_string(),
+                best_size: sizes[best_idx],
+                seconds,
+            }
+        })
+        .collect();
     let mut totals = vec![0.0f64; sizes.len()];
     for p in &programs {
         for (i, &s) in p.seconds.iter().enumerate() {
@@ -106,6 +114,29 @@ pub fn run(issue: IssueRate, sizes: &[u64], refs_per_bench: u64, seed: u64) -> P
         variable_total,
         fixed_total,
         fixed_best_size: sizes[fixed_idx],
+    }
+}
+
+impl ToJson for ProgramSweep {
+    fn to_json(&self) -> Json {
+        obj! {
+            "name" => self.name,
+            "seconds" => self.seconds,
+            "best_size" => self.best_size,
+        }
+    }
+}
+
+impl ToJson for PerBenchmark {
+    fn to_json(&self) -> Json {
+        obj! {
+            "sizes" => self.sizes,
+            "issue_mhz" => self.issue_mhz,
+            "programs" => self.programs,
+            "variable_total" => self.variable_total,
+            "fixed_total" => self.fixed_total,
+            "fixed_best_size" => self.fixed_best_size,
+        }
     }
 }
 
@@ -151,14 +182,24 @@ mod tests {
 
     #[test]
     fn study_finds_optima_and_gain_is_nonnegative() {
-        let s = run(IssueRate::GHZ1, &[256, 2048], 5_000, 3);
+        let s = run(
+            &SweepRunner::new(0),
+            IssueRate::GHZ1,
+            &[256, 2048],
+            5_000,
+            3,
+        );
         assert_eq!(s.programs.len(), 18);
         for p in &s.programs {
             assert_eq!(p.seconds.len(), 2);
             assert!(p.best_size == 256 || p.best_size == 2048);
         }
         // The variable-size total can never lose to the fixed-size total.
-        assert!(s.variable_page_gain() >= -1e-12, "gain {}", s.variable_page_gain());
+        assert!(
+            s.variable_page_gain() >= -1e-12,
+            "gain {}",
+            s.variable_page_gain()
+        );
         assert!(s.render().contains("variable page size"));
     }
 }

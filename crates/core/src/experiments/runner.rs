@@ -1,0 +1,416 @@
+//! The parallel memoized sweep runner — the engine room of every table
+//! and figure.
+//!
+//! Each paper artifact is a sweep of independent
+//! [`run_config`]`(cfg, workload)` cells, and artifacts overlap: the
+//! Table 5 sweep is exactly the fixed-reference half of the time-slice
+//! study, the ablation study's base row is a Table 4 cell, and Figures
+//! 2–4 are views over Table 3. The [`SweepRunner`] exploits both facts:
+//!
+//! * **Parallelism** — a batch of [`Job`]s is executed by a pool of
+//!   worker threads (bounded by available cores, overridable via
+//!   [`SweepRunner::new`]) pulling from a shared queue, so a sweep's
+//!   wall-clock approaches `total / cores`. Results are returned in
+//!   submission order regardless of completion order, and every cell is
+//!   a deterministic function of its job, so parallel and serial runs
+//!   are bit-identical (a golden test enforces this).
+//! * **Memoization** — the [`CellCache`] fingerprints each job and
+//!   returns finished [`Cell`]s, so overlapping sweeps across artifacts
+//!   are simulated exactly once per `repro` invocation. The cache can be
+//!   persisted as JSON (`--out DIR` keeps `cells.json`), letting reruns
+//!   at the same scale skip finished cells entirely.
+
+use crate::config::SystemConfig;
+use crate::experiments::common::{run_config, Cell, Workload};
+use rampage_json::{obj, Json, ToJson};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of sweep work: simulate `cfg` over `workload`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// The system to simulate.
+    pub cfg: SystemConfig,
+    /// The workload to drive it with.
+    pub workload: Workload,
+}
+
+impl Job {
+    /// Package a configuration and workload as a job.
+    pub fn new(cfg: SystemConfig, workload: Workload) -> Self {
+        Job { cfg, workload }
+    }
+
+    /// A stable fingerprint of the job: FNV-1a over the `Debug`
+    /// rendering of the configuration and workload. Both types derive
+    /// `Debug` over every field, so the rendering is a complete encoding
+    /// of everything the simulation depends on; two jobs with equal
+    /// fingerprints produce identical cells.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(format!("{:?}|{:?}", self.cfg, self.workload).as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Version stamp for the persisted cache format; bump when [`Cell`] or
+/// the fingerprint scheme changes shape.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// A memo table of finished cells, keyed by [`Job::fingerprint`].
+///
+/// Thread-safe: workers insert concurrently while batch assembly reads.
+/// `hits` counts every lookup served without simulation (including
+/// duplicates deduplicated within one batch); `computed` counts cells
+/// actually simulated.
+#[derive(Debug, Default)]
+pub struct CellCache {
+    map: Mutex<HashMap<u64, Cell>>,
+    hits: AtomicU64,
+    computed: AtomicU64,
+}
+
+impl CellCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CellCache::default()
+    }
+
+    /// Look up a fingerprint, counting a hit when found.
+    pub fn get(&self, fp: u64) -> Option<Cell> {
+        let found = self.map.lock().expect("cache lock").get(&fp).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Record a freshly computed cell.
+    pub fn insert(&self, fp: u64, cell: Cell) {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().expect("cache lock").insert(fp, cell);
+    }
+
+    /// Seed a cell without counting it as computed (persistence load).
+    fn seed(&self, fp: u64, cell: Cell) {
+        self.map.lock().expect("cache lock").insert(fp, cell);
+    }
+
+    /// Lookups served from memory instead of simulation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells actually simulated through this cache.
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Distinct cells held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize every entry (sorted by fingerprint — deterministic).
+    pub fn to_json(&self) -> Json {
+        let map = self.map.lock().expect("cache lock");
+        let mut entries: Vec<(u64, Cell)> = map.iter().map(|(&fp, &c)| (fp, c)).collect();
+        drop(map);
+        entries.sort_by_key(|&(fp, _)| fp);
+        obj! {
+            "version" => CACHE_FORMAT_VERSION,
+            "cells" => entries
+                .iter()
+                .map(|(fp, cell)| obj! { "fp" => *fp, "cell" => cell.to_json() })
+                .collect::<Vec<Json>>(),
+        }
+    }
+
+    /// Load entries from a serialized cache; returns how many were
+    /// loaded. A version mismatch loads nothing (stale fingerprints must
+    /// not serve wrong cells).
+    pub fn load_json(&self, doc: &Json) -> usize {
+        if doc.get("version").and_then(Json::as_u64) != Some(CACHE_FORMAT_VERSION) {
+            return 0;
+        }
+        let Some(cells) = doc.get("cells").and_then(Json::as_array) else {
+            return 0;
+        };
+        let mut loaded = 0;
+        for entry in cells {
+            let (Some(fp), Some(cell)) = (
+                entry.get("fp").and_then(Json::as_u64),
+                entry.get("cell").and_then(Cell::from_json),
+            ) else {
+                continue;
+            };
+            self.seed(fp, cell);
+            loaded += 1;
+        }
+        loaded
+    }
+
+    /// Persist to `path` as JSON.
+    pub fn save_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().pretty() + "\n")
+    }
+
+    /// Load from `path` if it exists and parses; returns how many cells
+    /// were loaded (0 for a missing or unreadable file — a cold start,
+    /// never an error).
+    pub fn load_file(&self, path: &Path) -> usize {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return 0;
+        };
+        match Json::parse(&text) {
+            Ok(doc) => self.load_json(&doc),
+            Err(_) => 0,
+        }
+    }
+}
+
+/// The parallel memoized sweep runner every experiment module submits
+/// its simulations through.
+#[derive(Debug, Default)]
+pub struct SweepRunner {
+    jobs: usize,
+    cache: CellCache,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` worker threads; `0` means one per available
+    /// core.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
+        };
+        SweepRunner {
+            jobs,
+            cache: CellCache::new(),
+        }
+    }
+
+    /// A single-threaded runner (still memoized) — the reference the
+    /// golden-equality test compares the pool against.
+    pub fn serial() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// Worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The memo table (for stats and persistence).
+    pub fn cache(&self) -> &CellCache {
+        &self.cache
+    }
+
+    /// Run one configuration through the cache.
+    pub fn run_one(&self, cfg: &SystemConfig, workload: &Workload) -> Cell {
+        let job = Job::new(*cfg, *workload);
+        let fp = job.fingerprint();
+        if let Some(cell) = self.cache.get(fp) {
+            return cell;
+        }
+        let cell = run_config(cfg, workload);
+        self.cache.insert(fp, cell);
+        cell
+    }
+
+    /// Run a batch of jobs, in parallel, returning cells in submission
+    /// order. Duplicate jobs (within the batch or against the cache) are
+    /// simulated once and fanned out to every submitter.
+    pub fn run_batch(&self, jobs: &[Job]) -> Vec<Cell> {
+        let mut slots: Vec<Option<Cell>> = vec![None; jobs.len()];
+        // First occurrence of each uncached fingerprint, in order.
+        let mut pending: Vec<(u64, Job)> = Vec::new();
+        // fingerprint -> slots awaiting it.
+        let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let fp = job.fingerprint();
+            if let Some(cell) = self.cache.get(fp) {
+                slots[i] = Some(cell);
+                continue;
+            }
+            match waiters.entry(fp) {
+                Entry::Occupied(mut e) => {
+                    // Deduplicated within the batch: count as a hit.
+                    self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    e.get_mut().push(i);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(vec![i]);
+                    pending.push((fp, *job));
+                }
+            }
+        }
+
+        let computed = self.execute(&pending);
+
+        for (k, cell) in computed {
+            let fp = pending[k].0;
+            self.cache.insert(fp, cell);
+            for &slot in &waiters[&fp] {
+                slots[slot] = Some(cell);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|c| c.expect("every slot is either cached or computed"))
+            .collect()
+    }
+
+    /// Simulate `pending` on the worker pool; returns `(index, cell)`
+    /// pairs in arbitrary order.
+    fn execute(&self, pending: &[(u64, Job)]) -> Vec<(usize, Cell)> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.jobs.min(pending.len());
+        if workers <= 1 {
+            return pending
+                .iter()
+                .enumerate()
+                .map(|(k, (_, job))| (k, run_config(&job.cfg, &job.workload)))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::with_capacity(pending.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= pending.len() {
+                        break;
+                    }
+                    let (_, job) = &pending[k];
+                    let cell = run_config(&job.cfg, &job.workload);
+                    done.lock().expect("result lock").push((k, cell));
+                });
+            }
+        });
+        done.into_inner().expect("result lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::IssueRate;
+
+    fn quick_jobs() -> Vec<Job> {
+        let w = Workload::quick();
+        [128u64, 1024, 4096]
+            .iter()
+            .flat_map(|&s| {
+                [
+                    Job::new(SystemConfig::baseline(IssueRate::GHZ1, s), w),
+                    Job::new(SystemConfig::rampage(IssueRate::GHZ1, s), w),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fingerprints_separate_configs_and_workloads() {
+        let w = Workload::quick();
+        let a = Job::new(SystemConfig::baseline(IssueRate::GHZ1, 128), w);
+        let b = Job::new(SystemConfig::baseline(IssueRate::GHZ1, 256), w);
+        let c = Job::new(SystemConfig::rampage(IssueRate::GHZ1, 128), w);
+        let mut w2 = w;
+        w2.scale += 1;
+        let d = Job::new(SystemConfig::baseline(IssueRate::GHZ1, 128), w2);
+        let fps = [a, b, c, d].map(|j| j.fingerprint());
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "jobs {i} and {j} collide");
+            }
+        }
+        assert_eq!(a.fingerprint(), Job::new(a.cfg, a.workload).fingerprint());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch_exactly() {
+        let jobs = quick_jobs();
+        let serial = SweepRunner::serial().run_batch(&jobs);
+        let parallel = SweepRunner::new(4).run_batch(&jobs);
+        assert_eq!(serial, parallel, "pools must not change results");
+        assert_eq!(serial.len(), jobs.len());
+        // Submission order survives the pool.
+        for (job, cell) in jobs.iter().zip(&serial) {
+            assert_eq!(job.cfg.hierarchy.unit_bytes(), cell.unit_bytes);
+        }
+    }
+
+    #[test]
+    fn cache_deduplicates_within_and_across_batches() {
+        let runner = SweepRunner::new(2);
+        let jobs = quick_jobs();
+        // Submit every job twice in one batch.
+        let doubled: Vec<Job> = jobs.iter().chain(jobs.iter()).copied().collect();
+        let cells = runner.run_batch(&doubled);
+        assert_eq!(&cells[..jobs.len()], &cells[jobs.len()..]);
+        assert_eq!(runner.cache().computed(), jobs.len() as u64);
+        assert_eq!(runner.cache().hits(), jobs.len() as u64);
+        // A second batch is served entirely from the cache.
+        let again = runner.run_batch(&jobs);
+        assert_eq!(again, &cells[..jobs.len()]);
+        assert_eq!(runner.cache().computed(), jobs.len() as u64);
+        assert_eq!(runner.cache().hits(), 2 * jobs.len() as u64);
+    }
+
+    #[test]
+    fn cache_persistence_roundtrips() {
+        let runner = SweepRunner::serial();
+        let jobs = quick_jobs();
+        let cells = runner.run_batch(&jobs);
+        let doc = runner.cache().to_json();
+
+        let fresh = CellCache::new();
+        assert_eq!(fresh.load_json(&doc), jobs.len());
+        for (job, cell) in jobs.iter().zip(&cells) {
+            assert_eq!(fresh.get(job.fingerprint()), Some(*cell));
+        }
+
+        // The JSON text itself roundtrips.
+        let reparsed = Json::parse(&doc.pretty()).expect("valid JSON");
+        let fresh2 = CellCache::new();
+        assert_eq!(fresh2.load_json(&reparsed), jobs.len());
+        assert_eq!(fresh2.get(jobs[0].fingerprint()), Some(cells[0]));
+
+        // A wrong version loads nothing.
+        let bad = obj! { "version" => 999u64, "cells" => Vec::<Json>::new() };
+        assert_eq!(CellCache::new().load_json(&bad), 0);
+    }
+
+    #[test]
+    fn run_one_memoizes() {
+        let runner = SweepRunner::serial();
+        let w = Workload::quick();
+        let cfg = SystemConfig::two_way(IssueRate::MHZ200, 512);
+        let a = runner.run_one(&cfg, &w);
+        let b = runner.run_one(&cfg, &w);
+        assert_eq!(a, b);
+        assert_eq!(runner.cache().computed(), 1);
+        assert_eq!(runner.cache().hits(), 1);
+    }
+}

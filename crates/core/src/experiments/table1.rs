@@ -2,17 +2,17 @@
 
 use crate::report::TableBuilder;
 use rampage_dram::{efficiency_table, EfficiencyRow};
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// The computed table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// One row per transfer size.
     pub rows: Vec<Row>,
 }
 
 /// One row: efficiency per device at one transfer size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Row {
     /// Transfer size in bytes.
     pub bytes: u64,
@@ -39,6 +39,23 @@ impl From<EfficiencyRow> for Row {
 pub fn run() -> Table1 {
     Table1 {
         rows: efficiency_table().into_iter().map(Row::from).collect(),
+    }
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj! {
+            "bytes" => self.bytes,
+            "rambus" => self.rambus,
+            "rambus_pipelined" => self.rambus_pipelined,
+            "disk" => self.disk,
+        }
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        obj! { "rows" => self.rows }
     }
 }
 

@@ -28,7 +28,10 @@ pub fn render() -> String {
         String::new(),
         format!(
             "{:.1}",
-            profiles::TABLE2.iter().map(|p| p.instr_millions).sum::<f64>()
+            profiles::TABLE2
+                .iter()
+                .map(|p| p.instr_millions)
+                .sum::<f64>()
         ),
         format!("{:.1}", profiles::table2_total_refs_millions()),
         String::new(),

@@ -2,14 +2,15 @@
 //! sizes and issue rates.
 
 use crate::config::SystemConfig;
-use crate::experiments::common::{run_config, Cell, Workload, PAPER_SIZES};
+use crate::experiments::common::{Cell, Workload, PAPER_SIZES};
+use crate::experiments::runner::{Job, SweepRunner};
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// The full Table 3 sweep: for each issue rate, a row of baseline cells
 /// and a row of RAMpage cells across the size sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// Block/page sizes swept (columns).
     pub sizes: Vec<u64>,
@@ -21,23 +22,30 @@ pub struct Table3 {
     pub rampage: Vec<Vec<Cell>>,
 }
 
-/// Run the Table 3 sweep.
-pub fn run(workload: &Workload, rates: &[IssueRate], sizes: &[u64]) -> Table3 {
+/// Run the Table 3 sweep. Every `(rate, size, system)` cell goes to the
+/// runner as one batch, so the whole table parallelizes and dedups
+/// against the cell cache.
+pub fn run(
+    runner: &SweepRunner,
+    workload: &Workload,
+    rates: &[IssueRate],
+    sizes: &[u64],
+) -> Table3 {
+    let mut jobs = Vec::with_capacity(rates.len() * sizes.len() * 2);
+    for &rate in rates {
+        for &s in sizes {
+            jobs.push(Job::new(SystemConfig::baseline(rate, s), *workload));
+        }
+        for &s in sizes {
+            jobs.push(Job::new(SystemConfig::rampage(rate, s), *workload));
+        }
+    }
+    let mut cells = runner.run_batch(&jobs).into_iter();
     let mut baseline = Vec::new();
     let mut rampage = Vec::new();
-    for &rate in rates {
-        baseline.push(
-            sizes
-                .iter()
-                .map(|&s| run_config(&SystemConfig::baseline(rate, s), workload))
-                .collect(),
-        );
-        rampage.push(
-            sizes
-                .iter()
-                .map(|&s| run_config(&SystemConfig::rampage(rate, s), workload))
-                .collect(),
-        );
+    for _ in rates {
+        baseline.push(cells.by_ref().take(sizes.len()).collect());
+        rampage.push(cells.by_ref().take(sizes.len()).collect());
     }
     Table3 {
         sizes: sizes.to_vec(),
@@ -48,8 +56,19 @@ pub fn run(workload: &Workload, rates: &[IssueRate], sizes: &[u64]) -> Table3 {
 }
 
 /// Run with the paper's sweep (all six sizes, 200 MHz – 4 GHz).
-pub fn run_paper(workload: &Workload) -> Table3 {
-    run(workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
+pub fn run_paper(runner: &SweepRunner, workload: &Workload) -> Table3 {
+    run(runner, workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
+}
+
+impl ToJson for Table3 {
+    fn to_json(&self) -> Json {
+        obj! {
+            "sizes" => self.sizes,
+            "rates_mhz" => self.rates_mhz,
+            "baseline" => self.baseline,
+            "rampage" => self.rampage,
+        }
+    }
 }
 
 impl Table3 {
@@ -128,7 +147,13 @@ mod tests {
     #[test]
     fn small_sweep_has_expected_shape() {
         let w = Workload::quick();
-        let t = run(&w, &[IssueRate::MHZ200, IssueRate::GHZ4], &[256, 4096]);
+        let runner = SweepRunner::serial();
+        let t = run(
+            &runner,
+            &w,
+            &[IssueRate::MHZ200, IssueRate::GHZ4],
+            &[256, 4096],
+        );
         assert_eq!(t.baseline.len(), 2);
         assert_eq!(t.rampage[0].len(), 2);
         let s = t.render();
@@ -146,7 +171,8 @@ mod tests {
     #[test]
     fn best_picks_minimum() {
         let w = Workload::quick();
-        let t = run(&w, &[IssueRate::GHZ1], &[128, 1024]);
+        let runner = SweepRunner::serial();
+        let t = run(&runner, &w, &[IssueRate::GHZ1], &[128, 1024]);
         let (size, secs) = t.best_rampage(0);
         assert!(t.rampage[0].iter().all(|c| c.seconds >= secs));
         assert!(size == 128 || size == 1024);

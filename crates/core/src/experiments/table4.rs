@@ -1,15 +1,16 @@
 //! Table 4: RAMpage with context switches on misses.
 
 use crate::config::SystemConfig;
-use crate::experiments::common::{run_config, Cell, Workload};
+use crate::experiments::common::{Cell, Workload};
+use crate::experiments::runner::{Job, SweepRunner};
 use crate::experiments::table3::Table3;
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// The Table 4 sweep: RAMpage with `switch_on_miss` (and the quantum
 /// switch trace), plus the speedup over plain RAMpage from Table 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// Page sizes swept.
     pub sizes: Vec<u64>,
@@ -29,17 +30,23 @@ pub struct Table4 {
 /// # Panics
 ///
 /// Panics if the shapes of `baseline` and the requested sweep differ.
-pub fn run(workload: &Workload, baseline: &Table3) -> Table4 {
+pub fn run(runner: &SweepRunner, workload: &Workload, baseline: &Table3) -> Table4 {
     let sizes = baseline.sizes.clone();
     let rates_mhz = baseline.rates_mhz.clone();
+    let jobs: Vec<Job> = rates_mhz
+        .iter()
+        .flat_map(|&mhz| {
+            let rate = IssueRate::from_mhz(mhz);
+            sizes
+                .iter()
+                .map(move |&s| Job::new(SystemConfig::rampage_switching(rate, s), *workload))
+        })
+        .collect();
+    let mut flat = runner.run_batch(&jobs).into_iter();
     let mut cells = Vec::new();
     let mut speedup = Vec::new();
-    for (ri, &mhz) in rates_mhz.iter().enumerate() {
-        let rate = IssueRate::from_mhz(mhz);
-        let row: Vec<Cell> = sizes
-            .iter()
-            .map(|&s| run_config(&SystemConfig::rampage_switching(rate, s), workload))
-            .collect();
+    for ri in 0..rates_mhz.len() {
+        let row: Vec<Cell> = flat.by_ref().take(sizes.len()).collect();
         let sp: Vec<f64> = row
             .iter()
             .zip(&baseline.rampage[ri])
@@ -53,6 +60,17 @@ pub fn run(workload: &Workload, baseline: &Table3) -> Table4 {
         rates_mhz,
         cells,
         speedup,
+    }
+}
+
+impl ToJson for Table4 {
+    fn to_json(&self) -> Json {
+        obj! {
+            "sizes" => self.sizes,
+            "rates_mhz" => self.rates_mhz,
+            "cells" => self.cells,
+            "speedup" => self.speedup,
+        }
     }
 }
 
@@ -111,8 +129,9 @@ mod tests {
     #[test]
     fn sweep_and_speedup_shapes() {
         let w = Workload::quick();
-        let base = table3::run(&w, &[IssueRate::GHZ4], &[1024, 4096]);
-        let t4 = run(&w, &base);
+        let runner = SweepRunner::serial();
+        let base = table3::run(&runner, &w, &[IssueRate::GHZ4], &[1024, 4096]);
+        let t4 = run(&runner, &w, &base);
         assert_eq!(t4.cells.len(), 1);
         assert_eq!(t4.speedup[0].len(), 2);
         for &s in &t4.speedup[0] {

@@ -2,13 +2,14 @@
 //! switches.
 
 use crate::config::SystemConfig;
-use crate::experiments::common::{run_config, Cell, Workload};
+use crate::experiments::common::{sweep_sizes, Cell, Workload};
+use crate::experiments::runner::SweepRunner;
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// The Table 5 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table5 {
     /// Block sizes swept.
     pub sizes: Vec<u64>,
@@ -20,20 +21,30 @@ pub struct Table5 {
 
 /// Run the sweep: 2-way random-replacement L2, context-switch trace at
 /// quantum boundaries (but no switches on misses — §4.7).
-pub fn run(workload: &Workload, rates: &[IssueRate], sizes: &[u64]) -> Table5 {
+pub fn run(
+    runner: &SweepRunner,
+    workload: &Workload,
+    rates: &[IssueRate],
+    sizes: &[u64],
+) -> Table5 {
     let cells = rates
         .iter()
-        .map(|&rate| {
-            sizes
-                .iter()
-                .map(|&s| run_config(&SystemConfig::two_way(rate, s), workload))
-                .collect()
-        })
+        .map(|&rate| sweep_sizes(runner, SystemConfig::two_way, rate, sizes, workload))
         .collect();
     Table5 {
         sizes: sizes.to_vec(),
         rates_mhz: rates.iter().map(|r| r.mhz()).collect(),
         cells,
+    }
+}
+
+impl ToJson for Table5 {
+    fn to_json(&self) -> Json {
+        obj! {
+            "sizes" => self.sizes,
+            "rates_mhz" => self.rates_mhz,
+            "cells" => self.cells,
+        }
     }
 }
 
@@ -79,7 +90,12 @@ mod tests {
     #[test]
     fn sweep_shape_and_render() {
         let w = Workload::quick();
-        let t = run(&w, &[IssueRate::MHZ200], &[256, 2048]);
+        let t = run(
+            &SweepRunner::serial(),
+            &w,
+            &[IssueRate::MHZ200],
+            &[256, 2048],
+        );
         assert_eq!(t.cells.len(), 1);
         assert_eq!(t.cells[0].len(), 2);
         assert!(t.cells[0][0].seconds > 0.0);

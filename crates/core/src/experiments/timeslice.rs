@@ -15,10 +15,11 @@
 //! warranted.
 
 use crate::config::SystemConfig;
-use crate::experiments::common::{run_config, Cell, Workload};
+use crate::experiments::common::{Cell, Workload};
+use crate::experiments::runner::{Job, SweepRunner};
 use crate::report::TableBuilder;
 use crate::time::IssueRate;
-use serde::{Deserialize, Serialize};
+use rampage_json::{obj, Json, ToJson};
 
 /// Default real-time slice: 2.5 ms of simulated time — the duration a
 /// 500 k-reference quantum roughly occupies at 200 MHz on this workload,
@@ -27,7 +28,7 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_SLICE_PS: u64 = 2_500_000_000;
 
 /// The study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Timeslice {
     /// Block sizes swept.
     pub sizes: Vec<u64>,
@@ -42,30 +43,60 @@ pub struct Timeslice {
 }
 
 /// Run both regimes over the 2-way L2 sweep.
-pub fn run(workload: &Workload, rates: &[IssueRate], sizes: &[u64], slice_ps: u64) -> Timeslice {
-    let sweep = |time_based: bool| -> Vec<Vec<Cell>> {
+pub fn run(
+    runner: &SweepRunner,
+    workload: &Workload,
+    rates: &[IssueRate],
+    sizes: &[u64],
+    slice_ps: u64,
+) -> Timeslice {
+    // Both regimes go into one batch; the fixed-refs half is the same
+    // sweep Table 5 runs, so a shared cell cache computes it only once.
+    let mut jobs = Vec::with_capacity(rates.len() * sizes.len() * 2);
+    for time_based in [false, true] {
+        for &rate in rates {
+            for &s in sizes {
+                let mut cfg = SystemConfig::two_way(rate, s);
+                if time_based {
+                    cfg.quantum_time = Some(slice_ps);
+                }
+                jobs.push(Job::new(cfg, *workload));
+            }
+        }
+    }
+    let mut cells = runner.run_batch(&jobs).into_iter();
+    let mut unflatten = || -> Vec<Vec<Cell>> {
         rates
             .iter()
-            .map(|&rate| {
-                sizes
-                    .iter()
-                    .map(|&s| {
-                        let mut cfg = SystemConfig::two_way(rate, s);
-                        if time_based {
-                            cfg.quantum_time = Some(slice_ps);
-                        }
-                        run_config(&cfg, workload)
-                    })
-                    .collect()
-            })
+            .map(|_| cells.by_ref().take(sizes.len()).collect())
             .collect()
     };
+    let fixed_refs = unflatten();
+    let fixed_time = unflatten();
     Timeslice {
         sizes: sizes.to_vec(),
         rates_mhz: rates.iter().map(|r| r.mhz()).collect(),
         slice_ps,
-        fixed_refs: sweep(false),
-        fixed_time: sweep(true),
+        fixed_refs,
+        fixed_time,
+    }
+}
+
+impl ToJson for Timeslice {
+    fn to_json(&self) -> Json {
+        let optima: Vec<Json> = self
+            .optima()
+            .iter()
+            .map(|&(r, t)| obj! { "fixed_refs" => r, "fixed_time" => t })
+            .collect();
+        obj! {
+            "sizes" => self.sizes,
+            "rates_mhz" => self.rates_mhz,
+            "slice_ps" => self.slice_ps,
+            "fixed_refs" => self.fixed_refs,
+            "fixed_time" => self.fixed_time,
+            "optima" => optima,
+        }
     }
 }
 
@@ -136,6 +167,7 @@ mod tests {
     fn regimes_differ_only_in_scheduling() {
         let w = Workload::quick();
         let ts = run(
+            &SweepRunner::serial(),
             &w,
             &[IssueRate::MHZ200, IssueRate::GHZ4],
             &[256, 2048],

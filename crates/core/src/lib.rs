@@ -46,8 +46,8 @@ pub mod system;
 
 pub use channel::{ChannelSet, DramChannel};
 pub use config::{
-    DramKind, HierarchyKind, L1Config, L2Config, RampageConfig, SystemConfig, TlbConfig, DRAM_PAGE_SIZE,
-    L1_MISS_PENALTY, QUANTUM_REFS, RAMPAGE_WRITEBACK_PENALTY, SRAM_BASE_SIZE,
+    DramKind, HierarchyKind, L1Config, L2Config, RampageConfig, SystemConfig, TlbConfig,
+    DRAM_PAGE_SIZE, L1_MISS_PENALTY, QUANTUM_REFS, RAMPAGE_WRITEBACK_PENALTY, SRAM_BASE_SIZE,
 };
 pub use engine::{Engine, ProcessSummary, RunOutcome};
 pub use metrics::{Counters, LevelFractions, Metrics, TimeBreakdown};
@@ -56,7 +56,9 @@ pub use time::IssueRate;
 
 /// Glob import for examples and experiments.
 pub mod prelude {
-    pub use crate::config::{HierarchyKind, L1Config, L2Config, RampageConfig, SystemConfig, TlbConfig};
+    pub use crate::config::{
+        HierarchyKind, L1Config, L2Config, RampageConfig, SystemConfig, TlbConfig,
+    };
     pub use crate::engine::{Engine, RunOutcome};
     pub use crate::metrics::{Metrics, TimeBreakdown};
     pub use crate::system::MemorySystem;

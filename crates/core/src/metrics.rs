@@ -3,7 +3,6 @@
 use crate::time::IssueRate;
 use rampage_cache::{CacheStats, MissProfile};
 use rampage_vm::TlbStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Simulated cycles attributed to each level of the hierarchy — the
@@ -15,7 +14,7 @@ use std::fmt;
 /// 'L1d' time accounted for is purely that taken to maintain inclusion."
 /// Software-handler references are charged to whichever level serves them,
 /// exactly as they would be on real hardware.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     /// Instruction-fetch issue cycles plus L1i inclusion/invalidation
     /// probes.
@@ -36,7 +35,11 @@ pub struct TimeBreakdown {
 impl TimeBreakdown {
     /// Total simulated cycles.
     pub fn total(&self) -> u64 {
-        self.l1i_cycles + self.l1d_cycles + self.l2_sram_cycles + self.dram_cycles + self.idle_cycles
+        self.l1i_cycles
+            + self.l1d_cycles
+            + self.l2_sram_cycles
+            + self.dram_cycles
+            + self.idle_cycles
     }
 
     /// Per-level fractions of total time (all zero for an empty run).
@@ -57,7 +60,7 @@ impl TimeBreakdown {
 }
 
 /// [`TimeBreakdown`] as fractions — one bar of Figure 2 / Figure 3.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LevelFractions {
     /// L1 instruction cache (fetch issue + inclusion).
     pub l1i: f64,
@@ -72,7 +75,7 @@ pub struct LevelFractions {
 }
 
 /// Event counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
     /// References consumed from the benchmark traces.
     pub user_refs: u64,
@@ -133,7 +136,7 @@ impl Counters {
 }
 
 /// Everything a run accumulates.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Metrics {
     /// Per-level simulated time.
     pub time: TimeBreakdown,
@@ -204,7 +207,10 @@ mod tests {
 
     #[test]
     fn empty_breakdown_has_zero_fractions() {
-        assert_eq!(TimeBreakdown::default().fractions(), LevelFractions::default());
+        assert_eq!(
+            TimeBreakdown::default().fractions(),
+            LevelFractions::default()
+        );
     }
 
     #[test]

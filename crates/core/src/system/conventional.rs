@@ -1,9 +1,7 @@
 //! The conventional two-level cache hierarchy (paper §4.4, §4.7).
 
 use crate::channel::ChannelSet;
-use crate::config::{
-    HierarchyKind, SystemConfig, DRAM_PAGE_SIZE, L1_MISS_PENALTY,
-};
+use crate::config::{HierarchyKind, SystemConfig, DRAM_PAGE_SIZE, L1_MISS_PENALTY};
 use crate::metrics::Metrics;
 use crate::system::{AccessOutcome, MemorySystem};
 use rampage_cache::{Cache, PhysAddr, ReplacementPolicy, ShadowTracker, VictimCache, WriteBuffer};
@@ -92,9 +90,9 @@ impl Conventional {
                 .write_buffer_depth
                 .map(WriteBuffer::with_depth)
                 .unwrap_or_default(),
-            classifier: cfg.classify_l2.then(|| {
-                ShadowTracker::new(l2cfg.geometry().blocks() as usize, l2cfg.block)
-            }),
+            classifier: cfg
+                .classify_l2
+                .then(|| ShadowTracker::new(l2cfg.geometry().blocks() as usize, l2cfg.block)),
         }
     }
 
@@ -149,7 +147,9 @@ impl Conventional {
             stall += probes + wb_cycles;
             if victim_dirty {
                 let at = now + Picos(stall * self.cycle.0);
-                let tr = self.channel.request(at, self.l2_block, ev.addr.block_number(self.l2_block));
+                let tr =
+                    self.channel
+                        .request(at, self.l2_block, ev.addr.block_number(self.l2_block));
                 let wb_stall = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
                 m.time.dram_cycles += wb_stall;
                 m.counts.dram_writebacks += 1;
@@ -485,7 +485,11 @@ mod tests {
                 m.counts.dram_block_fetches = 0;
             }
         }
-        assert!(m.counts.victim_hits > 10, "swap-backs: {}", m.counts.victim_hits);
+        assert!(
+            m.counts.victim_hits > 10,
+            "swap-backs: {}",
+            m.counts.victim_hits
+        );
         assert_eq!(
             m.counts.dram_block_fetches, 0,
             "steady-state ping-pong served without DRAM traffic"

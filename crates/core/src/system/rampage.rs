@@ -2,18 +2,14 @@
 //! (paper §2, §4.5, §4.6).
 
 use crate::channel::ChannelSet;
-use crate::config::{
-    HierarchyKind, SystemConfig, L1_MISS_PENALTY, RAMPAGE_WRITEBACK_PENALTY,
-};
+use crate::config::{HierarchyKind, SystemConfig, L1_MISS_PENALTY, RAMPAGE_WRITEBACK_PENALTY};
 use crate::metrics::Metrics;
 use crate::system::{AccessOutcome, MemorySystem};
 use rampage_cache::{Cache, PhysAddr, ReplacementPolicy, WriteBuffer};
 use rampage_dram::Picos;
 use rampage_trace::{AccessKind, Asid, TraceRecord};
 use rampage_vm::os::{HandlerRef, OsLayout, OsModel};
-use rampage_vm::{
-    ClockReplacer, FrameId, InvertedPageTable, PageSize, StandbyList, Tlb, Vpn,
-};
+use rampage_vm::{ClockReplacer, FrameId, InvertedPageTable, PageSize, StandbyList, Tlb, Vpn};
 
 /// ASID reserved for the pinned OS region.
 const KERNEL_ASID: Asid = Asid(u16::MAX);
@@ -172,7 +168,8 @@ impl Rampage {
             }
         }
         // Stall cycles are drain opportunities for the write buffer.
-        self.wbuf.drain((stall / RAMPAGE_WRITEBACK_PENALTY) as usize);
+        self.wbuf
+            .drain((stall / RAMPAGE_WRITEBACK_PENALTY) as usize);
         stall
     }
 
@@ -237,9 +234,9 @@ impl Rampage {
             if let Some(discarded) = out {
                 if discarded.dirty {
                     let at = now + Picos(stall * self.cycle.0);
-                    let tr =
-                        self.channel
-                            .request(at, self.page.get(), discarded.frame.0 as u64);
+                    let tr = self
+                        .channel
+                        .request(at, self.page.get(), discarded.frame.0 as u64);
                     let wb = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
                     m.time.dram_cycles += wb;
                     m.counts.dram_writebacks += 1;
@@ -534,7 +531,12 @@ mod tests {
         // Touch 70 distinct pages: evicts some TLB entries (64-entry TLB)
         // but all pages stay resident in SRAM.
         for i in 0..70u64 {
-            s.access_user(Asid(1), TraceRecord::read(0x10000 + i * 128), Picos::ZERO, &mut m);
+            s.access_user(
+                Asid(1),
+                TraceRecord::read(0x10000 + i * 128),
+                Picos::ZERO,
+                &mut m,
+            );
         }
         let faults_before = m.counts.page_faults;
         let dram_before = m.time.dram_cycles;
@@ -644,14 +646,27 @@ mod tests {
         // Write into a page, then force its L1 block out via a conflicting
         // address (L1 is 16 KB: +16 KB aliases the same set).
         s.access_user(Asid(1), TraceRecord::write(0x8000), Picos::ZERO, &mut m);
-        s.access_user(Asid(1), TraceRecord::read(0x8000 + 16 * 1024), Picos::ZERO, &mut m);
+        s.access_user(
+            Asid(1),
+            TraceRecord::read(0x8000 + 16 * 1024),
+            Picos::ZERO,
+            &mut m,
+        );
         // Now replace every page and count write-backs: page 0x8000 was
         // dirtied purely by the L1 write-back path.
         let user_frames = (s.total_frames() - s.pinned_frames()) as u64;
         for i in 2..(user_frames + 2) {
-            s.access_user(Asid(1), TraceRecord::read(i * 4096 + 0x100000), Picos::ZERO, &mut m);
+            s.access_user(
+                Asid(1),
+                TraceRecord::read(i * 4096 + 0x100000),
+                Picos::ZERO,
+                &mut m,
+            );
         }
-        assert!(m.counts.dram_writebacks >= 1, "dirty page went back to DRAM");
+        assert!(
+            m.counts.dram_writebacks >= 1,
+            "dirty page went back to DRAM"
+        );
     }
 
     #[test]
@@ -668,7 +683,11 @@ mod tests {
         for i in 0..64u64 {
             s.access_user(Asid(1), TraceRecord::read(i * 1024), Picos::ZERO, &mut m);
         }
-        assert!(m.counts.prefetches > 20, "prefetches: {}", m.counts.prefetches);
+        assert!(
+            m.counts.prefetches > 20,
+            "prefetches: {}",
+            m.counts.prefetches
+        );
         assert!(
             m.counts.page_faults <= 34,
             "~half the faults avoided: {}",
@@ -707,7 +726,12 @@ mod tests {
         let mut m = Metrics::default();
         // User ASID u16::MAX-1 is fine; the kernel ASID is reserved but a
         // user using high ASIDs must not collide with pinned pages.
-        let out = s.access_user(Asid(u16::MAX - 1), TraceRecord::read(0), Picos::ZERO, &mut m);
+        let out = s.access_user(
+            Asid(u16::MAX - 1),
+            TraceRecord::read(0),
+            Picos::ZERO,
+            &mut m,
+        );
         assert!(out.stall_cycles > 0);
         assert_eq!(m.counts.page_faults, 1);
     }

@@ -1,7 +1,6 @@
 //! Issue rates and cycle arithmetic.
 
 use rampage_dram::Picos;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The simulated instruction issue rate.
@@ -15,9 +14,7 @@ use std::fmt;
 ///
 /// Stored in MHz; every rate in [`IssueRate::PAPER_SWEEP`] has an exact
 /// integer cycle time in picoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IssueRate(u32);
 
 impl IssueRate {

@@ -2,7 +2,6 @@
 
 use crate::device::MemoryDevice;
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// A disk with fixed access latency and streaming transfer rate.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// device. §3.5 works the example: "with a 1 GHz issue rate, a 4 Kbyte
 /// disk transfer costs about 10-million instructions, whereas a 4 Kbyte
 /// Direct Rambus transfer costs about 2,600 instructions."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Disk {
     latency: Picos,
     /// Streaming rate in bytes per millisecond (40 MB/s = 40 000 B/ms

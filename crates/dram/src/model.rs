@@ -5,14 +5,13 @@ use crate::device::MemoryDevice;
 use crate::rambus::DirectRambus;
 use crate::sdram::Sdram;
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Which DRAM sits behind the memory controller.
 ///
 /// The paper's runs use [`DramModel::rambus`]; §3.3 argues a non-pipelined
 /// Direct Rambus "has similar characteristics to an SDRAM implementation",
 /// which the SDRAM variant lets an ablation verify at system level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DramModel {
     /// Direct Rambus (non-pipelined or pipelined).
     Rambus(DirectRambus),

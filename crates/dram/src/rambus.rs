@@ -2,7 +2,6 @@
 
 use crate::device::MemoryDevice;
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Direct Rambus DRAM, as modelled in §4.3 of the paper.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// The pipelined variant models that by letting a transfer *queued behind
 /// another* skip the initial latency, paying only data time at 95 % of
 /// peak; an isolated transfer still pays full latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirectRambus {
     pipelined: bool,
 }

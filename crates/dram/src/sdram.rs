@@ -2,7 +2,6 @@
 
 use crate::device::MemoryDevice;
 use crate::time::Picos;
-use serde::{Deserialize, Serialize};
 
 /// Synchronous DRAM behind a wide bus, as sketched in §3.3 of the paper:
 /// "SDRAM clocks DRAM to the bus and after an initial delay (for example
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Defaults reproduce exactly that configuration; the constructor accepts
 /// other widths and clocks for ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sdram {
     initial: Picos,
     bus_bytes: u64,

@@ -1,6 +1,5 @@
 //! Exact time arithmetic in picoseconds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
@@ -18,19 +17,7 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 /// let per_pair = Picos(1250); // 2 bytes / 1.25 ns
 /// assert_eq!(latency + per_pair * 64, Picos::from_nanos(130));
 /// ```
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    Serialize,
-    Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Picos(pub u64);
 
 impl Picos {

@@ -174,8 +174,9 @@ impl<R: BufRead> DinReader<R> {
         let label: u8 = label
             .parse()
             .map_err(|_| TraceIoError::Malformed(format!("bad label {label:?}"), self.line_no))?;
-        let kind = din_to_kind(label)
-            .ok_or_else(|| TraceIoError::Malformed(format!("unknown label {label}"), self.line_no))?;
+        let kind = din_to_kind(label).ok_or_else(|| {
+            TraceIoError::Malformed(format!("unknown label {label}"), self.line_no)
+        })?;
         let addr = u64::from_str_radix(addr, 16)
             .map_err(|_| TraceIoError::Malformed(format!("bad address {addr:?}"), self.line_no))?;
         Ok(Some(TraceRecord {
@@ -471,7 +472,13 @@ mod tests {
     #[test]
     fn error_display_is_useful() {
         let e = TraceIoError::Malformed("bad label \"9\"".into(), 7);
-        assert_eq!(e.to_string(), "malformed trace record at line 7: bad label \"9\"");
-        assert_eq!(TraceIoError::BadMagic.to_string(), "not a rampage binary trace (bad magic)");
+        assert_eq!(
+            e.to_string(),
+            "malformed trace record at line 7: bad label \"9\""
+        );
+        assert_eq!(
+            TraceIoError::BadMagic.to_string(),
+            "not a rampage binary trace (bad magic)"
+        );
     }
 }

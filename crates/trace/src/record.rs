@@ -1,6 +1,5 @@
 //! The basic unit of a trace: one memory reference.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual address within one process's address space.
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(a.page_number(4096), 0x400);
 /// assert_eq!(a.page_offset(4096), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 impl VirtAddr {
@@ -68,9 +67,7 @@ impl From<u64> for VirtAddr {
 /// Translation structures (TLB, inverted page table) key on
 /// `(Asid, virtual page number)` so that processes with identical virtual
 /// layouts do not alias.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Asid(pub u16);
 
 impl fmt::Display for Asid {
@@ -80,7 +77,7 @@ impl fmt::Display for Asid {
 }
 
 /// What kind of memory reference a trace record is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// An instruction fetch (goes to the L1 instruction cache).
     InstrFetch,
@@ -119,7 +116,7 @@ impl fmt::Display for AccessKind {
 ///
 /// Records carry no timestamp; the simulator is trace-driven and assigns
 /// time as it processes each reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceRecord {
     /// Virtual address referenced.
     pub addr: VirtAddr,

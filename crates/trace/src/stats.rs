@@ -138,10 +138,7 @@ mod tests {
 
     #[test]
     fn limit_stops_collection() {
-        let mut s = VecSource::new(
-            "t",
-            (0..100).map(|i| TraceRecord::fetch(i * 4)).collect(),
-        );
+        let mut s = VecSource::new("t", (0..100).map(|i| TraceRecord::fetch(i * 4)).collect());
         let st = TraceStats::collect(&mut s, 10, 32, 4096);
         assert_eq!(st.total, 10);
     }

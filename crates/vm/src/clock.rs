@@ -80,9 +80,9 @@ impl ClockReplacer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::page::Vpn;
     use rampage_cache::PhysAddr;
     use rampage_trace::Asid;
-    use crate::page::Vpn;
 
     fn full_table(frames: u32) -> InvertedPageTable {
         let mut t = InvertedPageTable::new(frames, PhysAddr(0));
@@ -109,7 +109,7 @@ mod tests {
         let mut ipt = full_table(4);
         let mut clock = ClockReplacer::new();
         let _ = clock.select_victim(&mut ipt); // clears all bits, picks 0
-        // Re-reference frame 1's page only.
+                                               // Re-reference frame 1's page only.
         ipt.lookup(Asid(1), Vpn(1));
         let (victim, _) = clock.select_victim(&mut ipt);
         assert_eq!(victim, FrameId(2), "frame 1 got its second chance");

@@ -3,10 +3,9 @@
 use crate::page::{FrameId, Vpn};
 use rampage_cache::PhysAddr;
 use rampage_trace::Asid;
-use serde::{Deserialize, Serialize};
 
 /// What a frame currently holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mapping {
     /// Owning address space.
     pub asid: Asid,

@@ -11,7 +11,6 @@
 
 use rampage_cache::PhysAddr;
 use rampage_trace::AccessKind;
-use serde::{Deserialize, Serialize};
 
 /// One reference issued by OS software. Handler references are already
 /// physical (handlers run pinned/untranslated), so they bypass the TLB.
@@ -24,7 +23,7 @@ pub struct HandlerRef {
 }
 
 /// Instruction counts for each software event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OsCosts {
     /// Instructions in the TLB-refill handler (hash, probe, TLB write).
     pub tlb_handler_instrs: u32,
@@ -51,7 +50,7 @@ impl Default for OsCosts {
 
 /// Where OS code and data live in the physical space of the level that
 /// executes handlers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OsLayout {
     /// Base of handler code.
     pub code_base: PhysAddr,

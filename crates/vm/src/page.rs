@@ -1,7 +1,6 @@
 //! Page-granularity types.
 
 use rampage_trace::VirtAddr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A validated power-of-two page size in bytes.
@@ -16,7 +15,7 @@ use std::fmt;
 /// assert_eq!(p.get(), 4096);
 /// assert!(PageSize::new(100).is_none());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageSize(u64);
 
 impl PageSize {
@@ -64,9 +63,7 @@ impl fmt::Display for PageSize {
 }
 
 /// A virtual page number (address space determined by context's ASID).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Vpn(pub u64);
 
 impl fmt::Display for Vpn {
@@ -77,9 +74,7 @@ impl fmt::Display for Vpn {
 
 /// A physical frame number in the paged memory (SRAM main memory for
 /// RAMpage; DRAM for the paging device).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FrameId(pub u32);
 
 impl FrameId {

@@ -4,11 +4,10 @@ use crate::page::{FrameId, Vpn};
 use rampage_trace::Asid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// TLB hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Lookups that found a translation.
     pub hits: u64,
@@ -213,7 +212,9 @@ mod tests {
         }
         assert_eq!(t.occupancy(), 4, "never exceeds capacity");
         // Exactly 4 of the 20 remain translatable.
-        let present = (0..20u64).filter(|&i| t.peek(a(1), Vpn(i)).is_some()).count();
+        let present = (0..20u64)
+            .filter(|&i| t.peek(a(1), Vpn(i)).is_some())
+            .count();
         assert_eq!(present, 4);
     }
 

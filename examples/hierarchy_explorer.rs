@@ -29,7 +29,10 @@ fn main() {
             "direct-mapped L2",
             SystemConfig::baseline as fn(IssueRate, u64) -> SystemConfig,
         ),
-        ("RAMpage", SystemConfig::rampage as fn(IssueRate, u64) -> SystemConfig),
+        (
+            "RAMpage",
+            SystemConfig::rampage as fn(IssueRate, u64) -> SystemConfig,
+        ),
     ] {
         let mut t = TableBuilder::new(vec![
             "size".into(),

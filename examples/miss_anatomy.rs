@@ -39,7 +39,11 @@ fn main() {
         "conflict share".into(),
     ]);
 
-    for (name, ways) in [("direct-mapped", 1u32), ("2-way", 2), ("16-way (~full)", 16)] {
+    for (name, ways) in [
+        ("direct-mapped", 1u32),
+        ("2-way", 2),
+        ("16-way (~full)", 16),
+    ] {
         for block in [128u64, 1024] {
             let geo = Geometry::new(4 << 20, block, ways).unwrap();
             let mut mc = MissClassifier::new(geo, ReplacementPolicy::Lru);

@@ -12,7 +12,10 @@ fn main() {
     // The three contenders of the paper, at a 1 GHz issue rate with
     // 1 KB L2 blocks / SRAM pages.
     let configs = [
-        ("baseline DM L2", SystemConfig::baseline(IssueRate::GHZ1, 1024)),
+        (
+            "baseline DM L2",
+            SystemConfig::baseline(IssueRate::GHZ1, 1024),
+        ),
         ("2-way L2", SystemConfig::two_way(IssueRate::GHZ1, 1024)),
         ("RAMpage", SystemConfig::rampage(IssueRate::GHZ1, 1024)),
         (

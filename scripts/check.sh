@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo-wide verification: formatting, lints, build, tests.
+#
+# Usage: scripts/check.sh
+#
+# Everything here runs offline (all dependencies are in-tree path
+# crates; see README.md § Offline builds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "All checks passed."

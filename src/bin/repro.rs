@@ -1,29 +1,35 @@
 //! Regenerates every table and figure of the RAMpage paper.
 //!
 //! ```text
-//! repro [--scale N] [--nbench N] [--out DIR] <artifact>...
+//! repro [--scale N] [--nbench N] [--jobs N] [--out DIR] <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
 //!            ablations perbench diag all
 //! ```
 //!
 //! `--scale N` divides the paper's 1.1-billion-reference trace volume
-//! (default 50; use 1 for the full volume). Results are printed as text
-//! tables and, with `--out`, also dumped as JSON for EXPERIMENTS.md.
+//! (default 50; use 1 for the full volume). `--jobs N` sets the worker
+//! pool width (default: all cores; 1 = serial). Results are printed as
+//! text tables and, with `--out`, also dumped as JSON for
+//! EXPERIMENTS.md; `--out` additionally persists the cell cache
+//! (`cells.json`) so overlapping sweeps across invocations are reused.
 
 use rampage_core::experiments::{
     ablations, anatomy, fig5, figures, per_benchmark, table1, table2, table3, table4, table5,
-    timeslice, Workload, PAPER_SIZES,
+    timeslice, SweepRunner, Workload, PAPER_SIZES,
 };
 use rampage_core::IssueRate;
+use rampage_json::{obj, Json, ToJson};
 use std::collections::BTreeMap;
 use std::io::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 #[derive(Clone)]
 struct Options {
     scale: u64,
     nbench: usize,
+    jobs: usize,
     out_dir: Option<String>,
     artifacts: Vec<String>,
 }
@@ -32,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         scale: 50,
         nbench: 18,
+        jobs: 0, // 0 = all available cores
         out_dir: None,
         artifacts: Vec::new(),
     };
@@ -52,9 +59,18 @@ fn parse_args() -> Result<Options, String> {
                     return Err("nbench must be 1..=18".into());
                 }
             }
+            "--jobs" | "-j" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad jobs: {v}"))?;
+            }
             "--out" => opts.out_dir = Some(args.next().ok_or("--out needs a directory")?),
-            "--help" | "-h" => return Err(USAGE.into()),
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}\n{USAGE}")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"))
+            }
             other => opts.artifacts.push(other.to_string()),
         }
     }
@@ -64,7 +80,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--out DIR] \
+const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--jobs N] [--out DIR] \
 <table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...";
 
 fn main() {
@@ -79,41 +95,67 @@ fn main() {
         nbench: opts.nbench,
         scale: opts.scale,
         seed: 0x7a9e,
+        solo: None,
     };
+    let runner = SweepRunner::new(opts.jobs);
     eprintln!(
-        "# workload: {} benchmarks, scale 1/{}, {} total refs",
+        "# workload: {} benchmarks, scale 1/{}, {} total refs; {} worker(s)",
         workload.nbench,
         workload.scale,
-        workload.total_refs()
+        workload.total_refs(),
+        runner.jobs()
     );
+
+    // A persisted cell cache under --out carries finished cells across
+    // invocations (the fingerprint covers config + workload, so stale
+    // reuse is impossible; a version bump invalidates the file).
+    let cells_path = opts
+        .out_dir
+        .as_ref()
+        .map(|d| Path::new(d).join("cells.json"));
+    if let Some(path) = &cells_path {
+        let loaded = runner.cache().load_file(path);
+        if loaded > 0 {
+            eprintln!("# loaded {loaded} cached cell(s) from {}", path.display());
+        }
+    }
 
     let mut wanted: Vec<String> = opts.artifacts.clone();
     if wanted.iter().any(|a| a == "all") {
         wanted = [
-            "table1", "table2", "table3", "fig2", "fig3", "fig4", "table4", "table5", "fig5",
-            "ablations", "perbench", "anatomy", "timeslice",
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "table4",
+            "table5",
+            "fig5",
+            "ablations",
+            "perbench",
+            "anatomy",
+            "timeslice",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
 
-    // Table 3 feeds figs 2-4 and Table 4; compute it lazily, once.
-    let mut t3_cache: Option<table3::Table3> = None;
-    let mut t4_cache: Option<table4::Table4> = None;
-    let mut t5_cache: Option<table5::Table5> = None;
-    let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    // Table 3 feeds figs 2-4 and Table 4, and Table 5 feeds Figure 5;
+    // re-deriving them per artifact is free because every cell comes out
+    // of the runner's cache after the first sweep.
+    let mut json: BTreeMap<String, Json> = BTreeMap::new();
 
     let needs_t3 = |a: &str| matches!(a, "table3" | "fig2" | "fig3" | "fig4" | "table4" | "fig5");
-    let get_t3 = |cache: &mut Option<table3::Table3>, w: &Workload| -> table3::Table3 {
-        cache
-            .get_or_insert_with(|| {
-                let t0 = Instant::now();
-                let t = table3::run_paper(w);
-                eprintln!("# table3 sweep took {:.1}s", t0.elapsed().as_secs_f64());
-                t
-            })
-            .clone()
+    let get_t3 = |runner: &SweepRunner, w: &Workload| -> table3::Table3 {
+        let t0 = Instant::now();
+        let t = table3::run_paper(runner, w);
+        eprintln!("# table3 sweep took {:.1}s", t0.elapsed().as_secs_f64());
+        t
+    };
+    let get_t5 = |runner: &SweepRunner, w: &Workload| -> table5::Table5 {
+        table5::run(runner, w, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
     };
 
     for artifact in &wanted {
@@ -121,66 +163,53 @@ fn main() {
         let text = match artifact.as_str() {
             "table1" => {
                 let t = table1::run();
-                json.insert("table1".into(), serde_json::to_value(&t.rows).unwrap());
+                json.insert("table1".into(), t.rows.to_json());
                 t.render()
             }
             "table2" => table2::render(),
             a if needs_t3(a) => {
-                let t3 = get_t3(&mut t3_cache, &workload);
+                let t3 = get_t3(&runner, &workload);
                 match a {
                     "table3" => {
-                        json.insert("table3".into(), serde_json::to_value(&t3).unwrap());
+                        json.insert("table3".into(), t3.to_json());
                         t3.render()
                     }
                     "fig2" => {
                         let f = figures::level_figure(&t3, 200, "Figure 2");
-                        json.insert("fig2".into(), serde_json::to_value(&f).unwrap());
+                        json.insert("fig2".into(), f.to_json());
                         f.render()
                     }
                     "fig3" => {
                         let f = figures::level_figure(&t3, 4000, "Figure 3");
-                        json.insert("fig3".into(), serde_json::to_value(&f).unwrap());
+                        json.insert("fig3".into(), f.to_json());
                         f.render()
                     }
                     "fig4" => {
                         let f = figures::figure4(&t3);
-                        json.insert("fig4".into(), serde_json::to_value(&f).unwrap());
+                        json.insert("fig4".into(), f.to_json());
                         f.render()
                     }
                     "table4" => {
-                        let t4 = t4_cache
-                            .get_or_insert_with(|| table4::run(&workload, &t3))
-                            .clone();
-                        json.insert("table4".into(), serde_json::to_value(&t4).unwrap());
+                        let t4 = table4::run(&runner, &workload, &t3);
+                        json.insert("table4".into(), t4.to_json());
                         t4.render()
                     }
                     "fig5" => {
-                        let t4 = t4_cache
-                            .get_or_insert_with(|| table4::run(&workload, &t3))
-                            .clone();
-                        let t5 = t5_cache
-                            .get_or_insert_with(|| {
-                                table5::run(&workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
-                            })
-                            .clone();
+                        let t4 = table4::run(&runner, &workload, &t3);
+                        let t5 = get_t5(&runner, &workload);
                         let f = fig5::derive(&t4, &t5);
-                        json.insert("fig5".into(), serde_json::to_value(&f).unwrap());
+                        json.insert("fig5".into(), f.to_json());
                         f.render()
                     }
                     _ => unreachable!(),
                 }
             }
             "table5" => {
-                let t5 = t5_cache
-                    .get_or_insert_with(|| {
-                        table5::run(&workload, &IssueRate::PAPER_SWEEP, &PAPER_SIZES)
-                    })
-                    .clone();
-                json.insert("table5".into(), serde_json::to_value(&t5).unwrap());
+                let t5 = get_t5(&runner, &workload);
+                json.insert("table5".into(), t5.to_json());
                 t5.render()
             }
             "diag" => {
-                use rampage_core::experiments::{run_config, PAPER_SIZES};
                 use rampage_core::SystemConfig;
                 let mut out = String::from(
                     "diag: per-config detail @ 1 GHz\nsystem size secs cpr l1i% l1d% l2% tlb% ovh% dram_ev frac(L1i/L1d/L2S/DRAM/idle)\n",
@@ -191,7 +220,7 @@ fn main() {
                         ("RAMp ", SystemConfig::rampage(IssueRate::GHZ1, size)),
                         ("2way ", SystemConfig::two_way(IssueRate::GHZ1, size)),
                     ] {
-                        let c = run_config(&cfg, &workload);
+                        let c = runner.run_one(&cfg, &workload);
                         let f = c.fractions;
                         out.push_str(&format!(
                             "{name} {size:5} {:.4} {:.2} {:.2} {:.2} {:.2} {:.2} {:.1} {} {:.2}/{:.2}/{:.2}/{:.2}/{:.2}\n",
@@ -211,30 +240,31 @@ fn main() {
             }
             "anatomy" => {
                 let a = anatomy::run(&workload, IssueRate::GHZ1, &PAPER_SIZES);
-                json.insert("anatomy".into(), serde_json::to_value(&a).unwrap());
+                json.insert("anatomy".into(), a.to_json());
                 a.render()
             }
             "timeslice" => {
                 let ts = timeslice::run(
+                    &runner,
                     &workload,
                     &[IssueRate::MHZ200, IssueRate::GHZ1, IssueRate::GHZ4],
                     &PAPER_SIZES,
                     timeslice::DEFAULT_SLICE_PS,
                 );
-                json.insert("timeslice".into(), serde_json::to_value(&ts).unwrap());
+                json.insert("timeslice".into(), ts.to_json());
                 ts.render()
             }
             "perbench" => {
                 // Each program alone: give each the average per-program
                 // volume of the interleaved workload.
                 let refs = (61_000_000 / opts.scale).max(10_000);
-                let s = per_benchmark::run(IssueRate::GHZ1, &PAPER_SIZES, refs, 0x7a9e);
-                json.insert("perbench".into(), serde_json::to_value(&s).unwrap());
+                let s = per_benchmark::run(&runner, IssueRate::GHZ1, &PAPER_SIZES, refs, 0x7a9e);
+                json.insert("perbench".into(), s.to_json());
                 s.render()
             }
             "ablations" => {
-                let a = ablations::run(&workload, IssueRate::GHZ1, 1024);
-                json.insert("ablations".into(), serde_json::to_value(&a).unwrap());
+                let a = ablations::run(&runner, &workload, IssueRate::GHZ1, 1024);
+                json.insert("ablations".into(), a.to_json());
                 a.render()
             }
             other => {
@@ -243,19 +273,33 @@ fn main() {
             }
         };
         println!("{text}");
-        eprintln!("# {artifact} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        eprintln!("# {artifact} done in {:.1}s", t0.elapsed().as_secs_f64());
+        eprintln!(
+            "# cells: {} simulated, {} cache hit(s) so far\n",
+            runner.cache().computed(),
+            runner.cache().hits()
+        );
     }
 
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir).expect("create output dir");
         let path = format!("{dir}/results.json");
         let mut f = std::fs::File::create(&path).expect("create results.json");
-        let doc = serde_json::json!({
-            "scale": opts.scale,
-            "nbench": opts.nbench,
-            "results": json,
-        });
-        writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap()).expect("write json");
+        let results: Vec<(String, Json)> = json.into_iter().collect();
+        let doc = obj! {
+            "scale" => opts.scale,
+            "nbench" => opts.nbench,
+            "results" => Json::Obj(results),
+        };
+        writeln!(f, "{}", doc.pretty()).expect("write json");
         eprintln!("# wrote {path}");
+        if let Some(cpath) = &cells_path {
+            runner.cache().save_file(cpath).expect("write cells.json");
+            eprintln!(
+                "# wrote {} ({} cell(s))",
+                cpath.display(),
+                runner.cache().len()
+            );
+        }
     }
 }

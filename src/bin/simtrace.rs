@@ -53,8 +53,14 @@ fn main() {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let system = flag(&args, "--system").unwrap_or_else(|| "rampage".into());
-    let unit: u64 = flag(&args, "--unit").map(|v| v.parse()).transpose()?.unwrap_or(1024);
-    let mhz: u32 = flag(&args, "--mhz").map(|v| v.parse()).transpose()?.unwrap_or(1000);
+    let unit: u64 = flag(&args, "--unit")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1024);
+    let mhz: u32 = flag(&args, "--mhz")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1000);
     let quantum: u64 = flag(&args, "--quantum")
         .map(|v| v.parse())
         .transpose()?
@@ -87,15 +93,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let sources: Vec<Box<dyn TraceSource + Send>> = files
         .iter()
-        .map(|path| -> Result<Box<dyn TraceSource + Send>, Box<dyn std::error::Error>> {
-            let name = path.rsplit('/').next().unwrap_or(path).to_string();
-            let inner: Box<dyn TraceSource + Send> = if path.ends_with(".bin") {
-                Box::new(BinReader::new(BufReader::new(File::open(path)?))?)
-            } else {
-                Box::new(DinReader::new(BufReader::new(File::open(path)?)))
-            };
-            Ok(Box::new(NamedSource { inner, name }))
-        })
+        .map(
+            |path| -> Result<Box<dyn TraceSource + Send>, Box<dyn std::error::Error>> {
+                let name = path.rsplit('/').next().unwrap_or(path).to_string();
+                let inner: Box<dyn TraceSource + Send> = if path.ends_with(".bin") {
+                    Box::new(BinReader::new(BufReader::new(File::open(path)?))?)
+                } else {
+                    Box::new(DinReader::new(BufReader::new(File::open(path)?)))
+                };
+                Ok(Box::new(NamedSource { inner, name }))
+            },
+        )
         .collect::<Result<_, _>>()?;
 
     eprintln!(

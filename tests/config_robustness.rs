@@ -1,105 +1,117 @@
 //! Robustness: arbitrary valid configurations must simulate without
 //! panicking and uphold the accounting invariants.
+//!
+//! Originally property-based; now driven by the in-tree seeded PRNG
+//! (`crates/rand`) because the build environment is offline (see
+//! README.md § Offline builds).
 
-use proptest::prelude::*;
 use rampage::prelude::*;
 use rampage_core::{DramKind, HierarchyKind, TlbConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_config() -> impl Strategy<Value = SystemConfig> {
-    let issue = prop::sample::select(vec![
-        IssueRate::MHZ200,
-        IssueRate::MHZ500,
-        IssueRate::GHZ1,
-        IssueRate::GHZ2,
-        IssueRate::GHZ4,
-    ]);
-    let unit = prop::sample::select(vec![128u64, 256, 512, 1024, 2048, 4096]);
-    let kind = 0..4u8;
-    let dram = prop::sample::select(vec![
-        DramKind::Rambus,
-        DramKind::RambusPipelined,
-        DramKind::Sdram,
-    ]);
-    let channels = 1..4u32;
-    let tlb_big = any::<bool>();
-    let victim = prop::option::of(1..64usize);
-    let wbuf = prop::option::of(1..32usize);
-    let standby = prop::option::of(16..128usize);
-    (
-        issue, unit, kind, dram, channels, tlb_big, victim, wbuf, standby,
-    )
-        .prop_map(
-            |(issue, unit, kind, dram, channels, tlb_big, victim, wbuf, standby)| {
-                let mut cfg = match kind {
-                    0 => SystemConfig::baseline(issue, unit),
-                    1 => SystemConfig::two_way(issue, unit),
-                    2 => SystemConfig::rampage(issue, unit),
-                    _ => SystemConfig::rampage_switching(issue, unit),
-                };
-                cfg.dram = dram;
-                cfg.dram_channels = channels;
-                if tlb_big {
-                    cfg.tlb = TlbConfig::large_2way();
-                }
-                if matches!(cfg.hierarchy, HierarchyKind::Conventional(_)) {
-                    cfg.l1_victim_blocks = victim;
-                }
-                cfg.write_buffer_depth = wbuf;
-                if let HierarchyKind::Rampage(ref mut r) = cfg.hierarchy {
-                    r.standby_pages = standby;
-                }
-                cfg
-            },
-        )
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
 }
 
-proptest! {
-    // Each case simulates ~30k references; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_config(rng: &mut StdRng) -> SystemConfig {
+    let issue = pick(
+        rng,
+        &[
+            IssueRate::MHZ200,
+            IssueRate::MHZ500,
+            IssueRate::GHZ1,
+            IssueRate::GHZ2,
+            IssueRate::GHZ4,
+        ],
+    );
+    let unit = pick(rng, &[128u64, 256, 512, 1024, 2048, 4096]);
+    let mut cfg = match rng.gen_range(0..4u8) {
+        0 => SystemConfig::baseline(issue, unit),
+        1 => SystemConfig::two_way(issue, unit),
+        2 => SystemConfig::rampage(issue, unit),
+        _ => SystemConfig::rampage_switching(issue, unit),
+    };
+    cfg.dram = pick(
+        rng,
+        &[DramKind::Rambus, DramKind::RambusPipelined, DramKind::Sdram],
+    );
+    cfg.dram_channels = rng.gen_range(1..4u32);
+    if rng.gen::<bool>() {
+        cfg.tlb = TlbConfig::large_2way();
+    }
+    if matches!(cfg.hierarchy, HierarchyKind::Conventional(_)) && rng.gen::<bool>() {
+        cfg.l1_victim_blocks = Some(rng.gen_range(1..64usize));
+    }
+    if rng.gen::<bool>() {
+        cfg.write_buffer_depth = Some(rng.gen_range(1..32usize));
+    }
+    if rng.gen::<bool>() {
+        if let HierarchyKind::Rampage(ref mut r) = cfg.hierarchy {
+            r.standby_pages = Some(rng.gen_range(16..128usize));
+        }
+    }
+    cfg
+}
 
-    #[test]
-    fn any_valid_config_simulates_cleanly(cfg in arb_config(), seed in 0u64..1000) {
+#[test]
+fn any_valid_config_simulates_cleanly() {
+    let mut rng = StdRng::seed_from_u64(0xc0b1);
+    // Each case simulates ~30k references; keep the count moderate.
+    for _ in 0..24 {
+        let cfg = arb_config(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
         let out = Engine::for_suite(&cfg, 3, 10_000, seed).run();
         let m = out.metrics;
         // Conservation and sanity invariants.
-        prop_assert!(m.counts.user_refs >= 3 * 9_000);
+        assert!(m.counts.user_refs >= 3 * 9_000);
         let t = m.time;
-        prop_assert_eq!(
+        assert_eq!(
             m.total_cycles(),
             t.l1i_cycles + t.l1d_cycles + t.l2_sram_cycles + t.dram_cycles + t.idle_cycles
         );
-        prop_assert!(m.total_cycles() >= m.counts.user_ifetches);
-        prop_assert!(out.seconds > 0.0);
+        assert!(m.total_cycles() >= m.counts.user_ifetches);
+        assert!(out.seconds > 0.0);
         let f = t.fractions();
         let sum = f.l1i + f.l1d + f.l2_sram + f.dram + f.idle;
-        prop_assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
         // Per-process accounting matches the totals.
         let refs: u64 = out.per_process.iter().map(|p| p.refs).sum();
-        prop_assert_eq!(refs, m.counts.user_refs);
+        assert_eq!(refs, m.counts.user_refs);
         // Hierarchy-specific invariants.
         match cfg.hierarchy {
             HierarchyKind::Conventional(_) => {
-                prop_assert_eq!(m.counts.page_faults, 0, "conventional never page-faults");
+                assert_eq!(m.counts.page_faults, 0, "conventional never page-faults");
             }
             HierarchyKind::Rampage(_) => {
-                prop_assert_eq!(m.counts.dram_block_fetches, 0, "RAMpage never block-fetches");
-                prop_assert_eq!(m.counts.l2.accesses(), 0, "RAMpage has no L2 cache");
+                assert_eq!(
+                    m.counts.dram_block_fetches, 0,
+                    "RAMpage never block-fetches"
+                );
+                assert_eq!(m.counts.l2.accesses(), 0, "RAMpage has no L2 cache");
             }
         }
         if !cfg.switch_on_miss {
-            prop_assert_eq!(m.counts.switches_on_miss, 0);
-            prop_assert_eq!(t.idle_cycles, 0, "stall model never idles");
+            assert_eq!(m.counts.switches_on_miss, 0);
+            assert_eq!(t.idle_cycles, 0, "stall model never idles");
         }
         if cfg.write_buffer_depth.is_none() {
-            prop_assert_eq!(m.counts.write_buffer_stalls, 0, "perfect buffer never stalls");
+            assert_eq!(
+                m.counts.write_buffer_stalls, 0,
+                "perfect buffer never stalls"
+            );
         }
     }
+}
 
-    #[test]
-    fn determinism_over_arbitrary_configs(cfg in arb_config()) {
+#[test]
+fn determinism_over_arbitrary_configs() {
+    let mut rng = StdRng::seed_from_u64(0xc0b2);
+    for _ in 0..8 {
+        let cfg = arb_config(&mut rng);
         let a = Engine::for_suite(&cfg, 2, 5_000, 77).run();
         let b = Engine::for_suite(&cfg, 2, 5_000, 77).run();
-        prop_assert_eq!(a.metrics.total_cycles(), b.metrics.total_cycles());
-        prop_assert_eq!(a.metrics.counts, b.metrics.counts);
+        assert_eq!(a.metrics.total_cycles(), b.metrics.total_cycles());
+        assert_eq!(a.metrics.counts, b.metrics.counts);
     }
 }

@@ -18,7 +18,11 @@ fn all_three_systems_complete_and_account_time() {
     ] {
         let out = run(&cfg, 4, 30_000);
         let m = out.metrics;
-        assert!(m.counts.user_refs >= 4 * 29_000, "{}: all refs consumed", cfg.label());
+        assert!(
+            m.counts.user_refs >= 4 * 29_000,
+            "{}: all refs consumed",
+            cfg.label()
+        );
         // Time conservation: the bucket sum is the total.
         let t = m.time;
         assert_eq!(
@@ -51,7 +55,10 @@ fn issue_rate_scales_simulated_seconds_not_dram_work() {
     // cost more cycles).
     let slow = run(&SystemConfig::baseline(IssueRate::MHZ200, 512), 4, 30_000);
     let fast = run(&SystemConfig::baseline(IssueRate::GHZ4, 512), 4, 30_000);
-    assert!(fast.seconds < slow.seconds, "faster CPU, less simulated time");
+    assert!(
+        fast.seconds < slow.seconds,
+        "faster CPU, less simulated time"
+    );
     assert!(
         fast.metrics.time.dram_cycles > slow.metrics.time.dram_cycles,
         "same transfers cost more cycles at 4 GHz"
@@ -70,9 +77,12 @@ fn rampage_never_references_dram_on_pure_tlb_misses() {
     let cfg = SystemConfig::rampage(IssueRate::GHZ1, 1024);
     let out = run(&cfg, 2, 40_000);
     let m = out.metrics;
-    assert!(m.counts.tlb.misses > m.counts.page_faults,
+    assert!(
+        m.counts.tlb.misses > m.counts.page_faults,
         "some TLB misses hit resident pages ({} misses, {} faults)",
-        m.counts.tlb.misses, m.counts.page_faults);
+        m.counts.tlb.misses,
+        m.counts.page_faults
+    );
     // Every DRAM byte moved is page transfers (faults + writebacks) —
     // no block fetches exist in RAMpage.
     assert_eq!(m.counts.dram_block_fetches, 0);
@@ -88,7 +98,10 @@ fn conventional_inclusion_holds_under_load() {
         SystemConfig::two_way(IssueRate::GHZ1, 4096),
     ] {
         let out = run(&cfg, 6, 40_000);
-        assert!(out.metrics.counts.inclusion_probes > 0, "L2 evictions probed L1");
+        assert!(
+            out.metrics.counts.inclusion_probes > 0,
+            "L2 evictions probed L1"
+        );
     }
 }
 
@@ -121,7 +134,10 @@ fn standby_list_turns_hard_faults_into_soft_faults() {
     }
     let a = run(&base, 12, 500_000);
     let b = run(&with_standby, 12, 500_000);
-    assert_eq!(a.metrics.counts.soft_faults, 0, "no standby, no soft faults");
+    assert_eq!(
+        a.metrics.counts.soft_faults, 0,
+        "no standby, no soft faults"
+    );
     assert!(b.metrics.counts.soft_faults > 0, "standby reclaims happen");
     // Soft faults avoid DRAM page transfers; the list also reserves
     // frames (reducing effective capacity), so hard faults stay at most

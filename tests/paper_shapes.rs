@@ -5,7 +5,7 @@
 //! EXPERIMENTS.md).
 
 use rampage::prelude::*;
-use rampage_core::experiments::{self, Workload};
+use rampage_core::experiments::{self, SweepRunner, Workload};
 use rampage_dram::{efficiency, DirectRambus, Disk, MemoryDevice};
 
 fn workload() -> Workload {
@@ -13,7 +13,12 @@ fn workload() -> Workload {
         nbench: 6,
         scale: 2000,
         seed: 0x7a9e,
+        solo: None,
     }
+}
+
+fn runner() -> SweepRunner {
+    SweepRunner::new(0)
 }
 
 #[test]
@@ -39,7 +44,7 @@ fn table1_dram_shares_disks_preference_for_large_units() {
 #[test]
 fn fig4_shape_rampage_overhead_falls_with_page_size_baseline_flat() {
     let w = workload();
-    let t3 = experiments::table3::run(&w, &[IssueRate::GHZ1], &[128, 512, 4096]);
+    let t3 = experiments::table3::run(&runner(), &w, &[IssueRate::GHZ1], &[128, 512, 4096]);
     let f4 = experiments::figures::figure4(&t3);
     // RAMpage: steep fall from 128 B to 4 KB (the paper's ~60% → ~5%).
     assert!(
@@ -59,7 +64,7 @@ fn fig4_shape_rampage_overhead_falls_with_page_size_baseline_flat() {
 #[test]
 fn table3_shape_dm_cache_suffers_at_huge_blocks() {
     let w = workload();
-    let t3 = experiments::table3::run(&w, &[IssueRate::MHZ200], &[128, 4096]);
+    let t3 = experiments::table3::run(&runner(), &w, &[IssueRate::MHZ200], &[128, 4096]);
     let small = t3.baseline[0][0].seconds;
     let huge = t3.baseline[0][1].seconds;
     assert!(
@@ -71,7 +76,7 @@ fn table3_shape_dm_cache_suffers_at_huge_blocks() {
 #[test]
 fn table3_shape_rampage_prefers_larger_pages_than_the_cache() {
     let w = workload();
-    let t3 = experiments::table3::run(&w, &[IssueRate::GHZ1], &[128, 1024]);
+    let t3 = experiments::table3::run(&runner(), &w, &[IssueRate::GHZ1], &[128, 1024]);
     // RAMpage 128 B pages lose to RAMpage 1 KB pages (TLB overhead).
     assert!(
         t3.rampage[0][0].seconds > t3.rampage[0][1].seconds,
@@ -84,7 +89,7 @@ fn table3_shape_rampage_prefers_larger_pages_than_the_cache() {
 #[test]
 fn fig23_shape_dram_fraction_grows_with_issue_rate() {
     let w = workload();
-    let t3 = experiments::table3::run(&w, &[IssueRate::MHZ200, IssueRate::GHZ4], &[512]);
+    let t3 = experiments::table3::run(&runner(), &w, &[IssueRate::MHZ200, IssueRate::GHZ4], &[512]);
     for rows in [&t3.baseline, &t3.rampage] {
         let slow = rows[0][0].fractions.dram;
         let fast = rows[1][0].fractions.dram;
@@ -106,7 +111,7 @@ fn rampage_has_fewer_dram_events_than_dm_cache_at_same_unit() {
     // Full associativity (paging) vs direct mapping, same transfer unit:
     // fewer misses is the paper's core mechanism.
     let w = workload();
-    let t3 = experiments::table3::run(&w, &[IssueRate::GHZ1], &[1024]);
+    let t3 = experiments::table3::run(&runner(), &w, &[IssueRate::GHZ1], &[1024]);
     assert!(
         t3.rampage[0][0].dram_events < t3.baseline[0][0].dram_events,
         "RAMpage {} events vs DM {}",
@@ -118,8 +123,8 @@ fn rampage_has_fewer_dram_events_than_dm_cache_at_same_unit() {
 #[test]
 fn two_way_l2_beats_direct_mapped_l2() {
     let w = workload();
-    let t3 = experiments::table3::run(&w, &[IssueRate::GHZ1], &[512]);
-    let t5 = experiments::table5::run(&w, &[IssueRate::GHZ1], &[512]);
+    let t3 = experiments::table3::run(&runner(), &w, &[IssueRate::GHZ1], &[512]);
+    let t5 = experiments::table5::run(&runner(), &w, &[IssueRate::GHZ1], &[512]);
     // The 2-way run includes the switch trace, so compare miss counts
     // (associativity must reduce them) rather than raw seconds.
     assert!(
@@ -133,9 +138,9 @@ fn fig5_best_config_has_zero_slowdown() {
     let w = workload();
     let rates = [IssueRate::GHZ1];
     let sizes = [512, 2048];
-    let t3 = experiments::table3::run(&w, &rates, &sizes);
-    let t4 = experiments::table4::run(&w, &t3);
-    let t5 = experiments::table5::run(&w, &rates, &sizes);
+    let t3 = experiments::table3::run(&runner(), &w, &rates, &sizes);
+    let t4 = experiments::table4::run(&runner(), &w, &t3);
+    let t5 = experiments::table5::run(&runner(), &w, &rates, &sizes);
     let f5 = experiments::fig5::derive(&t4, &t5);
     let min = f5.rampage[0]
         .iter()

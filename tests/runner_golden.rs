@@ -1,0 +1,85 @@
+//! Golden tests for the sweep runner: the parallel pool must be
+//! bit-identical to the serial path, and the cell cache must dedup
+//! overlapping sweeps across artifacts.
+
+use rampage_core::experiments::{
+    ablations, table3, table4, table5, timeslice, Job, SweepRunner, Workload,
+};
+use rampage_core::{IssueRate, SystemConfig};
+use rampage_json::ToJson;
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let w = Workload::quick();
+    let rates = [IssueRate::MHZ200, IssueRate::GHZ4];
+    let sizes = [256u64, 2048];
+    let serial = table3::run(&SweepRunner::serial(), &w, &rates, &sizes);
+    let parallel = table3::run(&SweepRunner::new(4), &w, &rates, &sizes);
+    // Cell-for-cell equality in submission order...
+    assert_eq!(serial.baseline, parallel.baseline);
+    assert_eq!(serial.rampage, parallel.rampage);
+    // ...and the rendered JSON (the persisted form) matches byte-for-byte.
+    assert_eq!(serial.to_json().pretty(), parallel.to_json().pretty());
+}
+
+#[test]
+fn parallel_batch_with_duplicates_keeps_order_and_dedups() {
+    let w = Workload::quick();
+    let a = Job::new(SystemConfig::baseline(IssueRate::GHZ1, 512), w);
+    let b = Job::new(SystemConfig::rampage(IssueRate::GHZ1, 512), w);
+    // Duplicates interleaved: each unique config simulates once.
+    let jobs = [a, b, a, b, a];
+    let runner = SweepRunner::new(4);
+    let cells = runner.run_batch(&jobs);
+    assert_eq!(cells.len(), 5);
+    assert_eq!(cells[0], cells[2]);
+    assert_eq!(cells[0], cells[4]);
+    assert_eq!(cells[1], cells[3]);
+    assert_ne!(cells[0], cells[1]);
+    assert_eq!(runner.cache().computed(), 2, "two unique jobs simulated");
+    assert_eq!(
+        runner.cache().hits(),
+        3,
+        "three duplicates served from cache"
+    );
+    // The serial path returns the same vector.
+    assert_eq!(SweepRunner::serial().run_batch(&jobs), cells);
+}
+
+#[test]
+fn cache_dedups_across_artifacts() {
+    // Table 5 and the time-slice study's fixed-refs regime sweep the same
+    // 2-way configurations; Table 4's cells reappear as the ablations'
+    // rampage Base knob and the ablations' two_way Base knob is a Table 5
+    // cell. One shared runner must compute each unique config only once.
+    let w = Workload::quick();
+    let runner = SweepRunner::new(0);
+    let rates = [IssueRate::GHZ1];
+    let sizes = [1024u64];
+
+    let t5 = table5::run(&runner, &w, &rates, &sizes);
+    assert_eq!(runner.cache().hits(), 0, "first sweep is all cold");
+    let after_t5 = runner.cache().computed();
+
+    let ts = timeslice::run(&runner, &w, &rates, &sizes, timeslice::DEFAULT_SLICE_PS);
+    assert!(
+        runner.cache().hits() >= (rates.len() * sizes.len()) as u64,
+        "the fixed-refs regime must come from the cache"
+    );
+    // The shared cells really are the same simulation results.
+    assert_eq!(t5.cells[0][0], ts.fixed_refs[0][0]);
+
+    let t3 = table3::run(&runner, &w, &rates, &sizes);
+    table4::run(&runner, &w, &t3);
+    let hits_before_ablations = runner.cache().hits();
+    let a = ablations::run(&runner, &w, rates[0], sizes[0]);
+    assert!(
+        runner.cache().hits() >= hits_before_ablations + 2,
+        "the ablations' Base pair must come from the cache"
+    );
+    assert_eq!(a.rows[0].two_way, t5.cells[0][0]);
+    assert!(
+        runner.cache().computed() > after_t5,
+        "later sweeps still simulated their unique configs"
+    );
+}
