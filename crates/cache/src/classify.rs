@@ -102,13 +102,10 @@ impl ShadowTracker {
         let shadow_hit = self.shadow.contains_key(&block);
         self.shadow.insert(block, self.stamp);
         if !shadow_hit && self.shadow.len() > self.capacity {
-            let oldest = *self
-                .shadow
-                .iter()
-                .min_by_key(|(_, &s)| s)
-                .map(|(b, _)| b)
-                .expect("shadow is non-empty");
-            self.shadow.remove(&oldest);
+            // The shadow just received an insert, so a minimum exists.
+            if let Some(oldest) = self.shadow.iter().min_by_key(|(_, &s)| s).map(|(&b, _)| b) {
+                self.shadow.remove(&oldest);
+            }
         }
         if real_hit {
             self.profile.hits += 1;

@@ -1,5 +1,6 @@
 //! System configuration: the paper's §4.3–§4.7 parameters as data.
 
+use crate::error::ConfigError;
 use crate::time::IssueRate;
 use rampage_cache::{Geometry, ReplacementPolicy};
 use rampage_dram::DramModel;
@@ -81,10 +82,15 @@ impl L1Config {
     ///
     /// # Panics
     ///
-    /// Panics if the parameters are inconsistent (construction-time
-    /// validation; presets are always valid).
+    /// Panics if the parameters are inconsistent. Presets are always
+    /// valid, and [`SystemConfig::validate`] rejects inconsistent
+    /// parameters before any simulation, so reaching this panic means a
+    /// config bypassed validation (an internal invariant).
     pub fn geometry(&self) -> Geometry {
-        Geometry::new(self.size, self.block, self.ways).expect("invalid L1 configuration")
+        match Geometry::new(self.size, self.block, self.ways) {
+            Ok(g) => g,
+            Err(e) => panic!("invalid L1 configuration {self:?}: {e}"),
+        }
     }
 }
 
@@ -126,9 +132,14 @@ impl L2Config {
     ///
     /// # Panics
     ///
-    /// Panics if the parameters are inconsistent.
+    /// Panics if the parameters are inconsistent; as with
+    /// [`L1Config::geometry`], [`SystemConfig::validate`] screens this
+    /// out before simulation.
     pub fn geometry(&self) -> Geometry {
-        Geometry::new(self.size, self.block, self.ways).expect("invalid L2 configuration")
+        match Geometry::new(self.size, self.block, self.ways) {
+            Ok(g) => g,
+            Err(e) => panic!("invalid L2 configuration {self:?}: {e}"),
+        }
     }
 }
 
@@ -150,14 +161,30 @@ pub struct RampageConfig {
 impl RampageConfig {
     /// The paper's configuration at a given page size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `page_size` is not a valid [`PageSize`].
-    pub fn paper(page_size: u64) -> Self {
-        RampageConfig {
-            page_size: PageSize::new(page_size).expect("invalid RAMpage page size"),
+    /// [`ConfigError::BadPageSize`] unless `page_size` is a power of two
+    /// of at least 8 bytes.
+    pub fn try_paper(page_size: u64) -> Result<Self, ConfigError> {
+        let page_size =
+            PageSize::new(page_size).ok_or(ConfigError::BadPageSize { value: page_size })?;
+        Ok(RampageConfig {
+            page_size,
             standby_pages: None,
             prefetch_next: false,
+        })
+    }
+
+    /// The paper's configuration at a given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a valid [`PageSize`]; use
+    /// [`RampageConfig::try_paper`] to handle that case.
+    pub fn paper(page_size: u64) -> Self {
+        match RampageConfig::try_paper(page_size) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -328,6 +355,74 @@ impl SystemConfig {
         cfg
     }
 
+    /// Check every parameter against the constraints the simulator
+    /// relies on, with actionable messages naming the offending value.
+    ///
+    /// The [`SweepRunner`](crate::experiments::SweepRunner) calls this
+    /// before simulating any cell, so a bad configuration becomes a
+    /// recorded failed cell instead of a mid-sweep panic; `repro` entry
+    /// points inherit the same gate because every artifact flows through
+    /// the runner.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found, checking the L1, the hierarchy
+    /// level below it (L2 geometry or RAMpage page size), the TLB, the
+    /// DRAM channel count, the scheduling quantum, and the optional
+    /// victim-cache / write-buffer capacities.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        validate_cache("L1 cache", self.l1.size, self.l1.block, self.l1.ways)?;
+        match &self.hierarchy {
+            HierarchyKind::Conventional(l2) => {
+                validate_cache("L2 cache", l2.size, l2.block, l2.ways)?;
+            }
+            HierarchyKind::Rampage(r) => {
+                // `PageSize` is validated at construction; re-check the
+                // derived frame arithmetic and the optional standby list.
+                if r.page_size.get() > r.sram_bytes() {
+                    return Err(ConfigError::BlockExceedsCache {
+                        what: "RAMpage SRAM",
+                        block: r.page_size.get(),
+                        size: r.sram_bytes(),
+                    });
+                }
+                if r.standby_pages == Some(0) {
+                    return Err(ConfigError::ZeroCapacity {
+                        what: "standby page list",
+                    });
+                }
+            }
+        }
+        if self.tlb.entries() == 0 {
+            return Err(ConfigError::EmptyTlb);
+        }
+        if !self.tlb.sets.is_power_of_two() {
+            return Err(ConfigError::TlbSetsNotPowerOfTwo {
+                sets: self.tlb.sets,
+            });
+        }
+        if self.dram_channels == 0 {
+            return Err(ConfigError::ZeroDramChannels);
+        }
+        if self.quantum == 0 {
+            return Err(ConfigError::ZeroQuantum);
+        }
+        if self.quantum_time == Some(0) {
+            return Err(ConfigError::ZeroTimeQuantum);
+        }
+        if self.l1_victim_blocks == Some(0) {
+            return Err(ConfigError::ZeroCapacity {
+                what: "L1 victim cache",
+            });
+        }
+        if self.write_buffer_depth == Some(0) {
+            return Err(ConfigError::ZeroCapacity {
+                what: "write buffer",
+            });
+        }
+        Ok(())
+    }
+
     /// A short description for reports.
     pub fn label(&self) -> String {
         let base = match &self.hierarchy {
@@ -345,6 +440,30 @@ impl SystemConfig {
         }
         s
     }
+}
+
+/// Shared cache-parameter validation: size/block/ways sanity with the
+/// cache's name in every message.
+fn validate_cache(what: &'static str, size: u64, block: u64, ways: u32) -> Result<(), ConfigError> {
+    if size == 0 {
+        return Err(ConfigError::ZeroSize { what });
+    }
+    if !size.is_power_of_two() {
+        return Err(ConfigError::NotPowerOfTwo { what, value: size });
+    }
+    if block == 0 {
+        return Err(ConfigError::ZeroSize { what });
+    }
+    if !block.is_power_of_two() {
+        return Err(ConfigError::NotPowerOfTwo { what, value: block });
+    }
+    if ways == 0 || !ways.is_power_of_two() {
+        return Err(ConfigError::BadWays { what, ways });
+    }
+    if block.saturating_mul(ways as u64) > size {
+        return Err(ConfigError::BlockExceedsCache { what, block, size });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -404,6 +523,89 @@ mod tests {
                 .hierarchy
                 .unit_bytes(),
             2048
+        );
+    }
+
+    #[test]
+    fn paper_presets_validate_cleanly() {
+        for size in [128u64, 256, 512, 1024, 2048, 4096] {
+            SystemConfig::baseline(IssueRate::GHZ1, size)
+                .validate()
+                .expect("baseline preset valid");
+            SystemConfig::two_way(IssueRate::MHZ200, size)
+                .validate()
+                .expect("two-way preset valid");
+            SystemConfig::rampage_switching(IssueRate::GHZ4, size)
+                .validate()
+                .expect("rampage preset valid");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_configs() {
+        use crate::error::ConfigError;
+
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        cfg.l1.size = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroSize { what: "L1 cache" })
+        );
+
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        if let HierarchyKind::Conventional(l2) = &mut cfg.hierarchy {
+            l2.block = 3000;
+        }
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::NotPowerOfTwo {
+                what: "L2 cache",
+                value: 3000
+            })
+        );
+
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        if let HierarchyKind::Conventional(l2) = &mut cfg.hierarchy {
+            l2.block = l2.size * 2;
+        }
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NotPowerOfTwo { .. }) | Err(ConfigError::BlockExceedsCache { .. })
+        ));
+
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        cfg.tlb = TlbConfig { sets: 1, ways: 0 };
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptyTlb));
+
+        let mut cfg = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        cfg.quantum = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroQuantum));
+
+        let mut cfg = SystemConfig::rampage(IssueRate::GHZ1, 1024);
+        cfg.dram_channels = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDramChannels));
+
+        let mut cfg = SystemConfig::rampage(IssueRate::GHZ1, 1024);
+        if let HierarchyKind::Rampage(r) = &mut cfg.hierarchy {
+            r.standby_pages = Some(0);
+        }
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn try_paper_rejects_bad_page_sizes() {
+        use crate::error::ConfigError;
+        assert!(RampageConfig::try_paper(1024).is_ok());
+        assert_eq!(
+            RampageConfig::try_paper(100),
+            Err(ConfigError::BadPageSize { value: 100 })
+        );
+        assert_eq!(
+            RampageConfig::try_paper(0),
+            Err(ConfigError::BadPageSize { value: 0 })
         );
     }
 

@@ -197,13 +197,19 @@ impl Engine {
                 return true;
             }
             // Everyone is blocked on DRAM: idle until the earliest wakes.
-            let wake = self
+            let Some(wake) = self
                 .processes
                 .iter()
                 .filter(|p| !p.finished)
                 .filter_map(|p| p.blocked_until)
                 .min()
-                .expect("unfinished processes are blocked");
+            else {
+                // Scheduler invariant: this branch is only reached when no
+                // process is runnable yet some are unfinished, and an
+                // unfinished, non-runnable process always carries a wake
+                // time.
+                unreachable!("engine invariant: unfinished processes are blocked");
+            };
             let idle = wake.saturating_sub(self.now).cycles_ceil(self.cycle).max(1);
             self.metrics.time.idle_cycles += idle;
             self.now += Picos(idle * self.cycle.0);

@@ -160,6 +160,31 @@ impl ToJson for Workload {
 }
 
 impl Cell {
+    /// The inert all-zero cell a sweep records in place of a failed job,
+    /// so tables keep their shape while the failure itself is reported
+    /// through [`SweepRunner::failures`]. Never cached or persisted.
+    pub fn failed_placeholder(cfg: &SystemConfig) -> Cell {
+        Cell {
+            unit_bytes: cfg.hierarchy.unit_bytes(),
+            issue_mhz: cfg.issue.mhz(),
+            seconds: 0.0,
+            cycles_per_ref: 0.0,
+            fractions: LevelFractions {
+                l1i: 0.0,
+                l1d: 0.0,
+                l2_sram: 0.0,
+                dram: 0.0,
+                idle: 0.0,
+            },
+            overhead: 0.0,
+            dram_events: 0,
+            tlb_miss_ratio: 0.0,
+            l1i_miss_ratio: 0.0,
+            l1d_miss_ratio: 0.0,
+            l2_miss_ratio: 0.0,
+        }
+    }
+
     /// Rebuild a cell from its [`ToJson`] form (the persisted-cache
     /// format); `None` on any missing or mistyped field.
     pub fn from_json(doc: &Json) -> Option<Cell> {

@@ -1,0 +1,71 @@
+//! Deterministic fault injection for the sweep runner (behind the
+//! `fault` feature — test builds only).
+//!
+//! The robustness suite uses these hooks to prove the runner's isolation
+//! guarantees without depending on real bugs: a cell can be made to
+//! panic a fixed number of times (exercising catch-and-retry and the
+//! [`FailedCell`](crate::experiments::FailedCell) path), and a cache
+//! save can be torn mid-write (exercising quarantine-and-rebuild on the
+//! next load).
+//!
+//! Injection state is process-global; tests that arm it must serialize
+//! with each other and call [`reset`] when done.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn cell_panics() -> MutexGuard<'static, HashMap<u64, u32>> {
+    static MAP: OnceLock<Mutex<HashMap<u64, u32>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// How many upcoming cache saves should be torn (written truncated, as
+/// if the process died mid-write).
+static TORN_SAVES: AtomicU32 = AtomicU32::new(0);
+
+/// Arm the next `times` executions of the cell with this fingerprint to
+/// panic at the start of simulation. With `times = 1` the retry
+/// succeeds; with `times >= 2` the cell is recorded as failed.
+pub fn arm_cell_panic(fp: u64, times: u32) {
+    cell_panics().insert(fp, times);
+}
+
+/// Called by the runner inside its per-cell isolation boundary.
+pub(crate) fn cell_panic_point(fp: u64) {
+    let fire = {
+        let mut map = cell_panics();
+        match map.get_mut(&fp) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: cell {fp:#018x}");
+    }
+}
+
+/// Arm the next `times` calls to `CellCache::save_file` to write a
+/// truncated file directly to the destination path — the on-disk state a
+/// crash between write and rename would leave with a non-atomic writer.
+pub fn arm_torn_save(times: u32) {
+    TORN_SAVES.store(times, Ordering::SeqCst);
+}
+
+/// Consume one armed torn save, if any.
+pub(crate) fn take_torn_save() -> bool {
+    TORN_SAVES
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// Disarm every injection point.
+pub fn reset() {
+    cell_panics().clear();
+    TORN_SAVES.store(0, Ordering::SeqCst);
+}

@@ -123,8 +123,9 @@ fn nearest_rate(table: &Table3, target_mhz: u32) -> usize {
         .iter()
         .enumerate()
         .min_by_key(|(_, &m)| m.abs_diff(target_mhz))
-        .map(|(i, _)| i)
-        .expect("table has rates")
+        // Sweep invariant: Table3 always carries the paper's rate axis;
+        // index 0 is an inert fallback for the impossible empty table.
+        .map_or(0, |(i, _)| i)
 }
 
 impl LevelFigure {
@@ -172,12 +173,14 @@ fn render_bars(bars: &[Bar]) -> String {
         let glyphs = ['i', 'd', 'S', 'D', '.'];
         let mut cells: Vec<usize> = fracs.iter().map(|f| (f * WIDTH as f64) as usize).collect();
         while cells.iter().sum::<usize>() < WIDTH {
-            let (imax, _) = fracs
+            let Some((imax, _)) = fracs
                 .iter()
                 .enumerate()
                 .map(|(i, f)| (i, f * WIDTH as f64 - cells[i] as f64))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("five levels");
+            else {
+                unreachable!("fracs is a fixed five-element array");
+            };
             cells[imax] += 1;
         }
         let bar: String = cells

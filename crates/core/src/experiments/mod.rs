@@ -21,6 +21,8 @@
 //! methods that print tables shaped like the paper's.
 
 mod common;
+#[cfg(feature = "fault")]
+pub mod fault;
 mod runner;
 
 pub mod ablations;
@@ -36,4 +38,4 @@ pub mod table5;
 pub mod timeslice;
 
 pub use common::{run_config, sweep_sizes, Cell, Workload, PAPER_SIZES};
-pub use runner::{CellCache, Job, SweepRunner, CACHE_FORMAT_VERSION};
+pub use runner::{CacheLoad, CellCache, FailedCell, Job, SweepRunner, CACHE_FORMAT_VERSION};

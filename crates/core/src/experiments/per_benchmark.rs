@@ -82,8 +82,9 @@ pub fn run(
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .expect("sizes is non-empty");
+                // Sweep invariant: `seconds` holds one entry per size and
+                // the size axis is never empty; 0 is an inert fallback.
+                .map_or(0, |(i, _)| i);
             ProgramSweep {
                 name: p.name.to_string(),
                 best_size: sizes[best_idx],
@@ -101,12 +102,16 @@ pub fn run(
         .iter()
         .map(|p| p.seconds.iter().copied().fold(f64::MAX, f64::min))
         .sum();
-    let (fixed_idx, fixed_total) = totals
+    let Some((fixed_idx, fixed_total)) = totals
         .iter()
         .copied()
         .enumerate()
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("sizes is non-empty");
+    else {
+        // Sweep invariant: `totals` has one slot per size and the size
+        // axis is never empty.
+        unreachable!("per-benchmark sweeps carry at least one size");
+    };
     PerBenchmark {
         sizes: sizes.to_vec(),
         issue_mhz: issue.mhz(),

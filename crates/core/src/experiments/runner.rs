@@ -19,15 +19,26 @@
 //!   are simulated exactly once per `repro` invocation. The cache can be
 //!   persisted as JSON (`--out DIR` keeps `cells.json`), letting reruns
 //!   at the same scale skip finished cells entirely.
+//! * **Fault tolerance** — each cell runs behind a validation gate and a
+//!   panic boundary. A job whose configuration fails
+//!   [`SystemConfig::validate`], or whose simulation panics twice (one
+//!   retry), is recorded as a [`FailedCell`] and replaced by an inert
+//!   [`Cell::failed_placeholder`]; the rest of the sweep completes.
+//!   Persisted caches carry a version header and per-cell checksums,
+//!   are written atomically (temp file + fsync + rename), and corrupt
+//!   files are quarantined (`<name>.corrupt`) rather than trusted or
+//!   allowed to abort a run.
 
 use crate::config::SystemConfig;
+use crate::error::{CacheIoError, InvariantError, RampageError};
 use crate::experiments::common::{run_config, Cell, Workload};
 use rampage_json::{obj, Json, ToJson};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// One unit of sweep work: simulate `cfg` over `workload`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,9 +75,67 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Version stamp for the persisted cache format; bump when [`Cell`] or
-/// the fingerprint scheme changes shape.
-pub const CACHE_FORMAT_VERSION: u64 = 1;
+/// Version stamp for the persisted cache format; bump when [`Cell`],
+/// the fingerprint scheme, or the on-disk envelope changes shape.
+/// Version 2 added the per-cell `sum` checksum.
+pub const CACHE_FORMAT_VERSION: u64 = 2;
+
+/// Lock a mutex, recovering the data from a poisoned lock: a worker
+/// that panicked mid-insert can at worst lose its own entry, and the
+/// cache is a memo table, so a lost entry only costs recomputation.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// What [`CellCache::load_file`] found on disk.
+///
+/// Loading never fails the caller: a missing file is a cold start, and a
+/// corrupt or stale file is quarantined (renamed `<name>.corrupt`) so
+/// the next save rebuilds it — the report says which happened.
+#[derive(Debug, Default)]
+pub struct CacheLoad {
+    /// Cells loaded into the cache.
+    pub loaded: usize,
+    /// Entries skipped for a bad checksum or undecodable body.
+    pub skipped: usize,
+    /// Where the on-disk file was moved if it was quarantined.
+    pub quarantined: Option<PathBuf>,
+    /// The whole-file error, when the envelope itself was unusable.
+    pub error: Option<CacheIoError>,
+}
+
+impl CacheLoad {
+    /// Whether the load was entirely clean (including the cold start).
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0 && self.quarantined.is_none() && self.error.is_none()
+    }
+
+    /// One-line human summary for the `repro` log.
+    pub fn describe(&self) -> String {
+        let mut s = format!("loaded {} cached cell(s)", self.loaded);
+        if self.skipped > 0 {
+            s.push_str(&format!(", skipped {} corrupt", self.skipped));
+        }
+        if let Some(e) = &self.error {
+            s.push_str(&format!("; cache unusable ({e})"));
+        }
+        if let Some(q) = &self.quarantined {
+            s.push_str(&format!("; quarantined to {}", q.display()));
+        }
+        s
+    }
+}
+
+/// Rename a suspect cache file to `<name>.corrupt` next to the
+/// original. Best-effort: if the rename itself fails the file is simply
+/// left in place (and will be overwritten by the next save).
+fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut name = path.file_name()?.to_os_string();
+    name.push(".corrupt");
+    let dest = path.with_file_name(name);
+    std::fs::rename(path, &dest).ok()?;
+    Some(dest)
+}
 
 /// A memo table of finished cells, keyed by [`Job::fingerprint`].
 ///
@@ -89,7 +158,7 @@ impl CellCache {
 
     /// Look up a fingerprint, counting a hit when found.
     pub fn get(&self, fp: u64) -> Option<Cell> {
-        let found = self.map.lock().expect("cache lock").get(&fp).copied();
+        let found = lock_recovering(&self.map).get(&fp).copied();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -99,12 +168,12 @@ impl CellCache {
     /// Record a freshly computed cell.
     pub fn insert(&self, fp: u64, cell: Cell) {
         self.computed.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().expect("cache lock").insert(fp, cell);
+        lock_recovering(&self.map).insert(fp, cell);
     }
 
     /// Seed a cell without counting it as computed (persistence load).
     fn seed(&self, fp: u64, cell: Cell) {
-        self.map.lock().expect("cache lock").insert(fp, cell);
+        lock_recovering(&self.map).insert(fp, cell);
     }
 
     /// Lookups served from memory instead of simulation.
@@ -119,7 +188,7 @@ impl CellCache {
 
     /// Distinct cells held.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        lock_recovering(&self.map).len()
     }
 
     /// Whether the cache holds nothing.
@@ -128,8 +197,10 @@ impl CellCache {
     }
 
     /// Serialize every entry (sorted by fingerprint — deterministic).
+    /// Each entry carries an FNV-1a checksum of its compact cell body,
+    /// so single-entry bit rot is detected at load time.
     pub fn to_json(&self) -> Json {
-        let map = self.map.lock().expect("cache lock");
+        let map = lock_recovering(&self.map);
         let mut entries: Vec<(u64, Cell)> = map.iter().map(|(&fp, &c)| (fp, c)).collect();
         drop(map);
         entries.sort_by_key(|&(fp, _)| fp);
@@ -137,50 +208,300 @@ impl CellCache {
             "version" => CACHE_FORMAT_VERSION,
             "cells" => entries
                 .iter()
-                .map(|(fp, cell)| obj! { "fp" => *fp, "cell" => cell.to_json() })
+                .map(|(fp, cell)| {
+                    let body = cell.to_json();
+                    let sum = fnv1a(body.compact().as_bytes());
+                    obj! { "fp" => *fp, "sum" => sum, "cell" => body }
+                })
                 .collect::<Vec<Json>>(),
         }
     }
 
-    /// Load entries from a serialized cache; returns how many were
-    /// loaded. A version mismatch loads nothing (stale fingerprints must
-    /// not serve wrong cells).
-    pub fn load_json(&self, doc: &Json) -> usize {
-        if doc.get("version").and_then(Json::as_u64) != Some(CACHE_FORMAT_VERSION) {
-            return 0;
+    /// Load entries from a serialized cache document.
+    ///
+    /// Returns `(loaded, skipped)`: entries whose checksum or shape is
+    /// wrong are skipped individually, so one rotten entry does not
+    /// discard its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheIoError::BadHeader`] when the envelope is not this format;
+    /// [`CacheIoError::VersionMismatch`] for any other version (stale
+    /// fingerprints must not serve wrong cells).
+    pub fn load_json(&self, doc: &Json) -> Result<(usize, usize), CacheIoError> {
+        let Some(version) = doc.get("version").and_then(Json::as_u64) else {
+            return Err(CacheIoError::BadHeader("missing or non-integer version"));
+        };
+        if version != CACHE_FORMAT_VERSION {
+            return Err(CacheIoError::VersionMismatch {
+                found: version,
+                expected: CACHE_FORMAT_VERSION,
+            });
         }
         let Some(cells) = doc.get("cells").and_then(Json::as_array) else {
-            return 0;
+            return Err(CacheIoError::BadHeader("missing cells array"));
         };
         let mut loaded = 0;
+        let mut skipped = 0;
         for entry in cells {
-            let (Some(fp), Some(cell)) = (
+            let (Some(fp), Some(sum), Some(body)) = (
                 entry.get("fp").and_then(Json::as_u64),
-                entry.get("cell").and_then(Cell::from_json),
+                entry.get("sum").and_then(Json::as_u64),
+                entry.get("cell"),
             ) else {
+                skipped += 1;
+                continue;
+            };
+            if fnv1a(body.compact().as_bytes()) != sum {
+                skipped += 1;
+                continue;
+            }
+            let Some(cell) = Cell::from_json(body) else {
+                skipped += 1;
                 continue;
             };
             self.seed(fp, cell);
             loaded += 1;
         }
-        loaded
+        Ok((loaded, skipped))
     }
 
-    /// Persist to `path` as JSON.
-    pub fn save_file(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().pretty() + "\n")
-    }
-
-    /// Load from `path` if it exists and parses; returns how many cells
-    /// were loaded (0 for a missing or unreadable file — a cold start,
-    /// never an error).
-    pub fn load_file(&self, path: &Path) -> usize {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            return 0;
+    /// Persist to `path` as JSON, atomically: the document is written to
+    /// `<name>.tmp`, synced to disk, then renamed over `path`, so a
+    /// crash at any point leaves either the old file or the new one —
+    /// never a torn mixture.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying file I/O failure, as [`CacheIoError::Io`].
+    pub fn save_file(&self, path: &Path) -> Result<(), CacheIoError> {
+        let text = self.to_json().pretty() + "\n";
+        #[cfg(feature = "fault")]
+        if crate::experiments::fault::take_torn_save() {
+            // Simulate a crash mid-write with a non-atomic writer: half
+            // the document lands on the final path and the "process"
+            // dies (returns) before finishing.
+            let cut = text.len() / 2;
+            std::fs::write(path, &text.as_bytes()[..cut])?;
+            return Ok(());
+        }
+        let tmp = match path.file_name() {
+            Some(n) => {
+                let mut n = n.to_os_string();
+                n.push(".tmp");
+                path.with_file_name(n)
+            }
+            None => {
+                return Err(CacheIoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "cache path has no file name",
+                )))
+            }
         };
-        match Json::parse(&text) {
-            Ok(doc) => self.load_json(&doc),
-            Err(_) => 0,
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load from `path`, never failing the caller: a missing file is a
+    /// cold start; an unreadable, unparsable, version-mismatched, or
+    /// partially rotten file is quarantined to `<name>.corrupt` and as
+    /// many good cells as possible are kept. The [`CacheLoad`] report
+    /// says exactly what happened.
+    pub fn load_file(&self, path: &Path) -> CacheLoad {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLoad::default(),
+            Err(e) => {
+                return CacheLoad {
+                    quarantined: quarantine(path),
+                    error: Some(CacheIoError::Io(e)),
+                    ..CacheLoad::default()
+                }
+            }
+        };
+        let parsed = Json::parse(&text).map_err(|e| CacheIoError::Parse(e.to_string()));
+        match parsed.and_then(|doc| self.load_json(&doc)) {
+            Ok((loaded, 0)) => CacheLoad {
+                loaded,
+                ..CacheLoad::default()
+            },
+            Ok((loaded, skipped)) => CacheLoad {
+                loaded,
+                skipped,
+                quarantined: quarantine(path),
+                error: None,
+            },
+            Err(e) => CacheLoad {
+                quarantined: quarantine(path),
+                error: Some(e),
+                ..CacheLoad::default()
+            },
+        }
+    }
+}
+
+/// The record of one job the runner could not complete: its identity,
+/// how hard the runner tried, and why it failed. Sweeps that contain
+/// failed cells still return a full-shape result (with
+/// [`Cell::failed_placeholder`] standing in), so a single bad
+/// configuration cannot kill a multi-hour run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// [`Job::fingerprint`] of the failed job.
+    pub fingerprint: u64,
+    /// The job's L2 block / SRAM page size (for identifying the cell).
+    pub unit_bytes: u64,
+    /// The job's issue rate in MHz.
+    pub issue_mhz: u32,
+    /// Execution attempts made (1 for unretried errors, 2 after a retry).
+    pub attempts: u32,
+    /// The classified error, rendered.
+    pub error: String,
+    /// Workspace frames of the panic backtrace, when the failure was a
+    /// caught panic and capture was available; empty otherwise.
+    pub backtrace: String,
+}
+
+impl ToJson for FailedCell {
+    fn to_json(&self) -> Json {
+        obj! {
+            "fp" => self.fingerprint,
+            "unit_bytes" => self.unit_bytes,
+            "issue_mhz" => self.issue_mhz,
+            "attempts" => self.attempts,
+            "error" => self.error.as_str(),
+            "backtrace" => self.backtrace.as_str(),
+        }
+    }
+}
+
+impl FailedCell {
+    fn new(job: &Job, fp: u64, attempts: u32, error: &RampageError, backtrace: String) -> Self {
+        FailedCell {
+            fingerprint: fp,
+            unit_bytes: job.cfg.hierarchy.unit_bytes(),
+            issue_mhz: job.cfg.issue.mhz(),
+            attempts,
+            error: error.to_string(),
+            backtrace,
+        }
+    }
+
+    /// Multi-line human rendering for the failure report.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "cell {:#018x} (unit {} B, {} MHz, {} attempt{}):\n    {}",
+            self.fingerprint,
+            self.unit_bytes,
+            self.issue_mhz,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error,
+        );
+        if !self.backtrace.is_empty() {
+            for line in self.backtrace.lines() {
+                s.push_str("\n    | ");
+                s.push_str(line);
+            }
+        }
+        s
+    }
+}
+
+/// Panic interception for the runner's per-cell isolation: a
+/// process-wide hook that, on threads which opted in, records the panic
+/// message, location, and a workspace-frame backtrace summary instead of
+/// printing to stderr. Threads that did not opt in keep the previous
+/// hook's behaviour.
+mod panic_capture {
+    use std::cell::{Cell, RefCell};
+    use std::sync::Once;
+
+    /// What the hook saw at the panic site.
+    #[derive(Debug, Clone, Default)]
+    pub struct CapturedPanic {
+        pub message: String,
+        pub location: String,
+        pub backtrace: String,
+    }
+
+    thread_local! {
+        static CAPTURING: Cell<bool> = const { Cell::new(false) };
+        static LAST: RefCell<Option<CapturedPanic>> = const { RefCell::new(None) };
+    }
+
+    static INSTALL: Once = Once::new();
+
+    fn install() {
+        INSTALL.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !CAPTURING.with(Cell::get) {
+                    prev(info);
+                    return;
+                }
+                let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic payload of unknown type".to_string()
+                };
+                let location = info.location().map(|l| l.to_string()).unwrap_or_default();
+                let backtrace = summarize(&std::backtrace::Backtrace::force_capture());
+                LAST.with(|l| {
+                    *l.borrow_mut() = Some(CapturedPanic {
+                        message,
+                        location,
+                        backtrace,
+                    })
+                });
+            }));
+        });
+    }
+
+    /// Keep only the frames that point into this workspace (the part of
+    /// a backtrace a failure report can act on), capped at a few lines.
+    fn summarize(bt: &std::backtrace::Backtrace) -> String {
+        const MAX_LINES: usize = 8;
+        bt.to_string()
+            .lines()
+            .filter(|l| l.contains("rampage"))
+            .take(MAX_LINES)
+            .map(str::trim)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Run `f` with panics captured: on unwind, returns what the hook
+    /// recorded on this thread.
+    pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, CapturedPanic> {
+        install();
+        CAPTURING.with(|c| c.set(true));
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        CAPTURING.with(|c| c.set(false));
+        match out {
+            Ok(v) => Ok(v),
+            Err(payload) => Err(LAST.with(|l| l.borrow_mut().take()).unwrap_or_else(|| {
+                // The hook did not fire (foreign panic runtime): salvage
+                // what the payload itself carries.
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic payload of unknown type".to_string()
+                };
+                CapturedPanic {
+                    message,
+                    ..CapturedPanic::default()
+                }
+            })),
         }
     }
 }
@@ -191,6 +512,53 @@ impl CellCache {
 pub struct SweepRunner {
     jobs: usize,
     cache: CellCache,
+    failures: Mutex<Vec<FailedCell>>,
+}
+
+/// How a single pending job ended: a real cell, or a failure record.
+type JobOutcome = Result<Cell, Box<FailedCell>>;
+
+/// One isolated execution attempt sequence for a job: validate the
+/// configuration, then simulate behind a panic boundary, retrying a
+/// panicking cell once (a second identical panic is considered
+/// deterministic and recorded).
+fn compute_cell(job: &Job, fp: u64) -> JobOutcome {
+    const MAX_ATTEMPTS: u32 = 2;
+    if let Err(e) = job.cfg.validate() {
+        return Err(Box::new(FailedCell::new(
+            job,
+            fp,
+            1,
+            &RampageError::Config(e),
+            String::new(),
+        )));
+    }
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match panic_capture::catch(|| {
+            #[cfg(feature = "fault")]
+            crate::experiments::fault::cell_panic_point(fp);
+            run_config(&job.cfg, &job.workload)
+        }) {
+            Ok(cell) => return Ok(cell),
+            Err(_) if attempts < MAX_ATTEMPTS => continue,
+            Err(p) => {
+                let err = RampageError::Invariant(InvariantError {
+                    message: p.message,
+                    location: p.location,
+                    backtrace: p.backtrace.clone(),
+                });
+                return Err(Box::new(FailedCell::new(
+                    job,
+                    fp,
+                    attempts,
+                    &err,
+                    p.backtrace,
+                )));
+            }
+        }
+    }
 }
 
 impl SweepRunner {
@@ -205,6 +573,7 @@ impl SweepRunner {
         SweepRunner {
             jobs,
             cache: CellCache::new(),
+            failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -224,21 +593,52 @@ impl SweepRunner {
         &self.cache
     }
 
-    /// Run one configuration through the cache.
-    pub fn run_one(&self, cfg: &SystemConfig, workload: &Workload) -> Cell {
-        let job = Job::new(*cfg, *workload);
-        let fp = job.fingerprint();
-        if let Some(cell) = self.cache.get(fp) {
-            return cell;
+    /// Every failure recorded so far, in deterministic submission order
+    /// within each batch.
+    pub fn failures(&self) -> Vec<FailedCell> {
+        lock_recovering(&self.failures).clone()
+    }
+
+    /// Number of failed cells recorded so far.
+    pub fn failure_count(&self) -> usize {
+        lock_recovering(&self.failures).len()
+    }
+
+    /// A human-readable failure report; empty string when every cell
+    /// succeeded.
+    pub fn failure_report(&self) -> String {
+        let failures = lock_recovering(&self.failures);
+        if failures.is_empty() {
+            return String::new();
         }
-        let cell = run_config(cfg, workload);
-        self.cache.insert(fp, cell);
+        let mut s = format!(
+            "{} cell(s) failed; their table slots hold inert zero cells:\n",
+            failures.len()
+        );
+        for f in failures.iter() {
+            s.push_str("  ");
+            s.push_str(&f.describe());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Run one configuration through the cache and the same isolation
+    /// boundary as batches; a failure is recorded and yields the inert
+    /// placeholder cell.
+    pub fn run_one(&self, cfg: &SystemConfig, workload: &Workload) -> Cell {
+        let mut cells = self.run_batch(&[Job::new(*cfg, *workload)]);
+        let Some(cell) = cells.pop() else {
+            unreachable!("run_batch returns one cell per job");
+        };
         cell
     }
 
     /// Run a batch of jobs, in parallel, returning cells in submission
     /// order. Duplicate jobs (within the batch or against the cache) are
-    /// simulated once and fanned out to every submitter.
+    /// simulated once and fanned out to every submitter. Failed jobs
+    /// yield [`Cell::failed_placeholder`] (never cached) and are
+    /// recorded in [`failures`](Self::failures).
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<Cell> {
         let mut slots: Vec<Option<Cell>> = vec![None; jobs.len()];
         // First occurrence of each uncached fingerprint, in order.
@@ -264,24 +664,41 @@ impl SweepRunner {
             }
         }
 
-        let computed = self.execute(&pending);
+        let mut computed = self.execute(&pending);
+        // Completion order is nondeterministic under the pool; submission
+        // order keeps results — and the failure log — deterministic.
+        computed.sort_by_key(|&(k, _)| k);
 
-        for (k, cell) in computed {
-            let fp = pending[k].0;
-            self.cache.insert(fp, cell);
-            for &slot in &waiters[&fp] {
-                slots[slot] = Some(cell);
+        for (k, outcome) in computed {
+            let (fp, job) = pending[k];
+            match outcome {
+                Ok(cell) => {
+                    self.cache.insert(fp, cell);
+                    for &slot in &waiters[&fp] {
+                        slots[slot] = Some(cell);
+                    }
+                }
+                Err(failed) => {
+                    let placeholder = Cell::failed_placeholder(&job.cfg);
+                    for &slot in &waiters[&fp] {
+                        slots[slot] = Some(placeholder);
+                    }
+                    lock_recovering(&self.failures).push(*failed);
+                }
             }
         }
         slots
             .into_iter()
-            .map(|c| c.expect("every slot is either cached or computed"))
+            .map(|c| match c {
+                Some(cell) => cell,
+                None => unreachable!("every slot is cached, computed, or failed"),
+            })
             .collect()
     }
 
-    /// Simulate `pending` on the worker pool; returns `(index, cell)`
+    /// Simulate `pending` on the worker pool; returns `(index, outcome)`
     /// pairs in arbitrary order.
-    fn execute(&self, pending: &[(u64, Job)]) -> Vec<(usize, Cell)> {
+    fn execute(&self, pending: &[(u64, Job)]) -> Vec<(usize, JobOutcome)> {
         if pending.is_empty() {
             return Vec::new();
         }
@@ -290,11 +707,11 @@ impl SweepRunner {
             return pending
                 .iter()
                 .enumerate()
-                .map(|(k, (_, job))| (k, run_config(&job.cfg, &job.workload)))
+                .map(|(k, (fp, job))| (k, compute_cell(job, *fp)))
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, Cell)>> = Mutex::new(Vec::with_capacity(pending.len()));
+        let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(pending.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -302,13 +719,13 @@ impl SweepRunner {
                     if k >= pending.len() {
                         break;
                     }
-                    let (_, job) = &pending[k];
-                    let cell = run_config(&job.cfg, &job.workload);
-                    done.lock().expect("result lock").push((k, cell));
+                    let (fp, job) = &pending[k];
+                    let outcome = compute_cell(job, *fp);
+                    lock_recovering(&done).push((k, outcome));
                 });
             }
         });
-        done.into_inner().expect("result lock")
+        done.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -386,20 +803,51 @@ mod tests {
         let doc = runner.cache().to_json();
 
         let fresh = CellCache::new();
-        assert_eq!(fresh.load_json(&doc), jobs.len());
+        assert_eq!(fresh.load_json(&doc).expect("clean load"), (jobs.len(), 0));
         for (job, cell) in jobs.iter().zip(&cells) {
             assert_eq!(fresh.get(job.fingerprint()), Some(*cell));
         }
 
-        // The JSON text itself roundtrips.
+        // The JSON text itself roundtrips (checksums included).
         let reparsed = Json::parse(&doc.pretty()).expect("valid JSON");
         let fresh2 = CellCache::new();
-        assert_eq!(fresh2.load_json(&reparsed), jobs.len());
+        assert_eq!(
+            fresh2.load_json(&reparsed).expect("clean load"),
+            (jobs.len(), 0)
+        );
         assert_eq!(fresh2.get(jobs[0].fingerprint()), Some(cells[0]));
+    }
 
-        // A wrong version loads nothing.
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
         let bad = obj! { "version" => 999u64, "cells" => Vec::<Json>::new() };
-        assert_eq!(CellCache::new().load_json(&bad), 0);
+        match CellCache::new().load_json(&bad) {
+            Err(CacheIoError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, CACHE_FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        let no_header = obj! { "cells" => Vec::<Json>::new() };
+        assert!(matches!(
+            CellCache::new().load_json(&no_header),
+            Err(CacheIoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped_individually() {
+        let runner = SweepRunner::serial();
+        let jobs = quick_jobs();
+        runner.run_batch(&jobs);
+        let doc = runner.cache().to_json();
+        // Flip one entry's checksum.
+        let text = doc.pretty().replacen("\"sum\":", "\"sum\": 1, \"was\":", 1);
+        let tampered = Json::parse(&text).expect("still JSON");
+        let fresh = CellCache::new();
+        let (loaded, skipped) = fresh.load_json(&tampered).expect("envelope still valid");
+        assert_eq!(skipped, 1, "the tampered entry is dropped");
+        assert_eq!(loaded, jobs.len() - 1, "its neighbours survive");
     }
 
     #[test]
@@ -412,5 +860,29 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(runner.cache().computed(), 1);
         assert_eq!(runner.cache().hits(), 1);
+    }
+
+    #[test]
+    fn invalid_config_becomes_failed_cell_not_abort() {
+        let runner = SweepRunner::new(2);
+        let mut bad = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        bad.quantum = 0;
+        let good = SystemConfig::baseline(IssueRate::GHZ1, 256);
+        let w = Workload::quick();
+        let cells = runner.run_batch(&[Job::new(bad, w), Job::new(good, w)]);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].seconds, 0.0, "failed slot holds the placeholder");
+        assert!(cells[1].seconds > 0.0, "sibling still simulated");
+        let failures = runner.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, 1, "config errors are not retried");
+        assert!(
+            failures[0].error.contains("quantum"),
+            "{}",
+            failures[0].error
+        );
+        assert!(!runner.failure_report().is_empty());
+        // Failed cells are never cached: only the good one is held.
+        assert_eq!(runner.cache().len(), 1);
     }
 }

@@ -74,11 +74,16 @@ impl ToJson for Table3 {
 impl Table3 {
     /// Best (minimum) simulated time for a rate row, with its size.
     fn best(cells: &[Cell]) -> (u64, f64) {
-        cells
+        match cells
             .iter()
             .map(|c| (c.unit_bytes, c.seconds))
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("rows are non-empty")
+        {
+            Some(best) => best,
+            // Sweep invariant: every rate row is built with one cell per
+            // size, and the size axis is never empty.
+            None => unreachable!("Table3 rows are built non-empty"),
+        }
     }
 
     /// Best baseline time at a rate index.

@@ -51,11 +51,16 @@ impl ToJson for Table5 {
 impl Table5 {
     /// Best time and its block size at a rate index.
     pub fn best(&self, rate_idx: usize) -> (u64, f64) {
-        self.cells[rate_idx]
+        match self.cells[rate_idx]
             .iter()
             .map(|c| (c.unit_bytes, c.seconds))
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("rows are non-empty")
+        {
+            Some(best) => best,
+            // Sweep invariant: every rate row is built with one cell per
+            // size, and the size axis is never empty.
+            None => unreachable!("Table5 rows are built non-empty"),
+        }
     }
 
     /// Render like the paper: one row per issue rate.

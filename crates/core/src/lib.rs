@@ -41,6 +41,7 @@ mod metrics;
 mod report;
 mod time;
 
+pub mod error;
 pub mod experiments;
 pub mod system;
 
@@ -50,6 +51,7 @@ pub use config::{
     DRAM_PAGE_SIZE, L1_MISS_PENALTY, QUANTUM_REFS, RAMPAGE_WRITEBACK_PENALTY, SRAM_BASE_SIZE,
 };
 pub use engine::{Engine, ProcessSummary, RunOutcome};
+pub use error::{CacheIoError, ConfigError, InvariantError, RampageError};
 pub use metrics::{Counters, LevelFractions, Metrics, TimeBreakdown};
 pub use report::{fmt_pct, fmt_secs, TableBuilder};
 pub use time::IssueRate;

@@ -98,7 +98,10 @@ impl Conventional {
 
     /// The DRAM page size used for translation.
     fn dram_page(&self) -> PageSize {
-        PageSize::new(DRAM_PAGE_SIZE).expect("constant is valid")
+        let Some(p) = PageSize::new(DRAM_PAGE_SIZE) else {
+            unreachable!("DRAM_PAGE_SIZE is a valid power-of-two constant");
+        };
+        p
     }
 
     /// Service a block from L2 (and DRAM below it). Returns stall cycles.
@@ -235,7 +238,11 @@ impl Conventional {
     /// Push an L1 eviction into the victim buffer; an overflowing dirty
     /// block is written back to L2. Returns stall cycles.
     fn stash_victim(&mut self, ev: rampage_cache::Eviction, m: &mut Metrics) -> u64 {
-        let vc = self.victim.as_mut().expect("caller checked");
+        let Some(vc) = self.victim.as_mut() else {
+            // stash_victim is only called after the caller checked that a
+            // victim buffer is configured.
+            unreachable!("stash_victim requires a configured victim buffer");
+        };
         let mut stall = 0;
         if let Some(out) = vc.insert(ev) {
             if out.dirty {
@@ -291,10 +298,16 @@ impl Conventional {
             Some(f) => f,
             None => {
                 // First touch: allocate a DRAM frame ("infinite DRAM").
-                let f = self
-                    .page_table
-                    .alloc_free()
-                    .expect("DRAM frame space exhausted; raise DRAM_FRAMES");
+                // Exhaustion is a genuine capacity failure, not a logic
+                // bug: keep it a panic with an actionable message (the
+                // sweep runner converts it into a recorded FailedCell).
+                let f = match self.page_table.alloc_free() {
+                    Some(f) => f,
+                    None => panic!(
+                        "DRAM frame space exhausted ({} frames of {} bytes); raise DRAM_FRAMES",
+                        DRAM_FRAMES, DRAM_PAGE_SIZE
+                    ),
+                };
                 self.page_table.insert(f, asid, vpn);
                 f
             }

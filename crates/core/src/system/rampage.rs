@@ -85,7 +85,11 @@ impl Rampage {
             "OS region ({os_bytes} bytes) leaves no user frames at page size {page}"
         );
         for i in 0..pinned_frames {
-            let f = ipt.alloc_free().expect("fresh table has free frames");
+            let Some(f) = ipt.alloc_free() else {
+                // The assert above guarantees pinned_frames < num_frames,
+                // so a fresh table cannot run out of free frames here.
+                unreachable!("RAMpage init: fresh table has free frames");
+            };
             debug_assert_eq!(f, FrameId(i), "pinned frames are the low frames");
             ipt.insert_pinned(f, KERNEL_ASID, Vpn(i as u64));
         }
@@ -199,7 +203,11 @@ impl Rampage {
     /// probes) and scheduling a DRAM write-back if dirty. Returns extra
     /// stall cycles. The frame is left unmapped and free.
     fn evict_page(&mut self, victim: FrameId, now: Picos, m: &mut Metrics) -> u64 {
-        let mapping = *self.ipt.mapping(victim).expect("victim is mapped");
+        let Some(&mapping) = self.ipt.mapping(victim) else {
+            // Replacement invariant: the clock hand only selects frames
+            // the IPT currently maps.
+            unreachable!("RAMpage eviction: victim {victim} is mapped");
+        };
         // A prefetched page dying unreferenced was wasted bandwidth.
         self.prefetched.remove(&(mapping.asid, mapping.vpn));
         self.tlb.flush_page(mapping.asid, mapping.vpn);
@@ -224,7 +232,10 @@ impl Rampage {
 
         if let Some(standby) = self.standby.as_mut() {
             // Software victim cache: the page stands by instead of dying.
-            let removed = self.ipt.remove_reserved(victim).expect("victim is mapped");
+            let Some(removed) = self.ipt.remove_reserved(victim) else {
+                // Same replacement invariant: the mapping was read above.
+                unreachable!("RAMpage eviction: victim {victim} is mapped");
+            };
             let out = standby.push(rampage_vm::StandbyEntry {
                 asid: removed.asid,
                 vpn: removed.vpn,

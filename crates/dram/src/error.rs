@@ -1,0 +1,59 @@
+//! Typed construction errors for the device models.
+
+use std::fmt;
+
+/// Why a device model could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramConfigError {
+    /// A disk with a zero transfer rate can never move data.
+    ZeroDiskRate,
+    /// A bus that carries zero bytes per beat can never move data.
+    ZeroBusWidth,
+    /// An unclocked bus never completes a beat.
+    ZeroBusCycle,
+}
+
+impl fmt::Display for DramConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramConfigError::ZeroDiskRate => {
+                write!(
+                    f,
+                    "disk transfer rate must be positive (the paper's disk moves 40000 bytes/ms)"
+                )
+            }
+            DramConfigError::ZeroBusWidth => {
+                write!(
+                    f,
+                    "bus width must be positive (the paper's SDRAM bus is 16 bytes)"
+                )
+            }
+            DramConfigError::ZeroBusCycle => {
+                write!(
+                    f,
+                    "bus cycle time must be positive (the paper's SDRAM bus clocks at 10 ns)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        for e in [
+            DramConfigError::ZeroDiskRate,
+            DramConfigError::ZeroBusWidth,
+            DramConfigError::ZeroBusCycle,
+        ] {
+            let msg = e.to_string();
+            assert!(msg.contains("must be positive"), "{msg}");
+            assert!(msg.contains("paper"), "says what a good value is: {msg}");
+        }
+    }
+}

@@ -35,6 +35,7 @@
 mod device;
 mod disk;
 mod efficiency;
+mod error;
 mod model;
 mod rambus;
 mod sdram;
@@ -43,6 +44,7 @@ mod time;
 pub use device::MemoryDevice;
 pub use disk::Disk;
 pub use efficiency::{efficiency, efficiency_table, EfficiencyRow, TABLE1_SIZES};
+pub use error::DramConfigError;
 pub use model::DramModel;
 pub use rambus::DirectRambus;
 pub use sdram::Sdram;

@@ -1,6 +1,7 @@
 //! The SDRAM comparator of §3.3.
 
 use crate::device::MemoryDevice;
+use crate::error::DramConfigError;
 use crate::time::Picos;
 
 /// Synchronous DRAM behind a wide bus, as sketched in §3.3 of the paper:
@@ -32,15 +33,38 @@ impl Sdram {
     ///
     /// # Panics
     ///
-    /// Panics if `bus_bytes` is zero or `bus_cycle` is zero.
+    /// Panics if `bus_bytes` is zero or `bus_cycle` is zero; use
+    /// [`try_new`](Self::try_new) to handle those as errors.
     pub fn new(initial: Picos, bus_bytes: u64, bus_cycle: Picos) -> Self {
-        assert!(bus_bytes > 0, "bus must carry data");
-        assert!(bus_cycle.0 > 0, "bus must be clocked");
-        Sdram {
+        match Self::try_new(initial, bus_bytes, bus_cycle) {
+            Ok(s) => s,
+            Err(e) => panic!("SDRAM model: {e}"),
+        }
+    }
+
+    /// As [`new`](Self::new), reporting a degenerate bus as a
+    /// [`DramConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DramConfigError::ZeroBusWidth`] if `bus_bytes` is zero;
+    /// [`DramConfigError::ZeroBusCycle`] if `bus_cycle` is zero.
+    pub fn try_new(
+        initial: Picos,
+        bus_bytes: u64,
+        bus_cycle: Picos,
+    ) -> Result<Self, DramConfigError> {
+        if bus_bytes == 0 {
+            return Err(DramConfigError::ZeroBusWidth);
+        }
+        if bus_cycle.0 == 0 {
+            return Err(DramConfigError::ZeroBusCycle);
+        }
+        Ok(Sdram {
             initial,
             bus_bytes,
             bus_cycle,
-        }
+        })
     }
 }
 
@@ -85,6 +109,20 @@ mod tests {
         // Sub-width transfers still cost a full beat.
         assert_eq!(s.transfer_time(2), Picos::from_nanos(60));
         assert_eq!(s.transfer_time(0), Picos::ZERO);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_bus() {
+        let ns10 = Picos::from_nanos(10);
+        assert_eq!(
+            Sdram::try_new(ns10, 0, ns10).err(),
+            Some(DramConfigError::ZeroBusWidth)
+        );
+        assert_eq!(
+            Sdram::try_new(ns10, 16, Picos(0)).err(),
+            Some(DramConfigError::ZeroBusCycle)
+        );
+        assert!(Sdram::try_new(ns10, 16, ns10).is_ok());
     }
 
     #[test]

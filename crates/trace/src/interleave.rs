@@ -14,6 +14,33 @@ impl std::fmt::Display for ProcessId {
     }
 }
 
+/// Why an [`Interleaver`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterleaveError {
+    /// No traces were supplied — there is nothing to schedule.
+    NoSources,
+    /// The reference quantum is zero, so no process could ever run.
+    ZeroQuantum,
+}
+
+impl std::fmt::Display for InterleaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterleaveError::NoSources => {
+                write!(f, "interleaver needs at least one trace source")
+            }
+            InterleaveError::ZeroQuantum => {
+                write!(
+                    f,
+                    "interleaver quantum must be positive (the paper uses 500000 references)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterleaveError {}
+
 /// What the interleaver hands out next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleEvent {
@@ -73,15 +100,37 @@ impl Interleaver {
     ///
     /// # Panics
     ///
-    /// Panics if `sources` is empty or `quantum` is zero.
+    /// Panics if `sources` is empty or `quantum` is zero; use
+    /// [`try_new`](Self::try_new) to handle those as errors.
     pub fn new<S>(sources: Vec<S>, quantum: u64) -> Self
     where
         S: TraceSource + Send + 'static,
     {
-        assert!(!sources.is_empty(), "need at least one trace");
-        assert!(quantum > 0, "quantum must be positive");
+        match Self::try_new(sources, quantum) {
+            Ok(il) => il,
+            Err(e) => panic!("interleaver construction: {e}"),
+        }
+    }
+
+    /// As [`new`](Self::new), reporting an empty source list or a zero
+    /// quantum as an [`InterleaveError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`InterleaveError::NoSources`] if `sources` is empty;
+    /// [`InterleaveError::ZeroQuantum`] if `quantum` is zero.
+    pub fn try_new<S>(sources: Vec<S>, quantum: u64) -> Result<Self, InterleaveError>
+    where
+        S: TraceSource + Send + 'static,
+    {
+        if sources.is_empty() {
+            return Err(InterleaveError::NoSources);
+        }
+        if quantum == 0 {
+            return Err(InterleaveError::ZeroQuantum);
+        }
         let n = sources.len();
-        Interleaver {
+        Ok(Interleaver {
             sources: sources
                 .into_iter()
                 .map(|s| Box::new(s) as Box<dyn TraceSource + Send>)
@@ -92,7 +141,7 @@ impl Interleaver {
             used_in_quantum: 0,
             live_count: n,
             total_yielded: 0,
-        }
+        })
     }
 
     /// Process currently scheduled.
@@ -251,6 +300,27 @@ mod tests {
         assert_eq!(per, [1, 9, 5]);
         assert_eq!(il.total_yielded(), 15);
         assert_eq!(il.live_count(), 0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_inputs() {
+        let empty: Vec<VecSource> = Vec::new();
+        assert_eq!(
+            Interleaver::try_new(empty, 5).err(),
+            Some(InterleaveError::NoSources)
+        );
+        assert_eq!(
+            Interleaver::try_new(vec![src("a", 1, 1)], 0).err(),
+            Some(InterleaveError::ZeroQuantum)
+        );
+        assert!(Interleaver::try_new(vec![src("a", 1, 1)], 5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn new_panics_on_empty_sources() {
+        let empty: Vec<VecSource> = Vec::new();
+        let _ = Interleaver::new(empty, 5);
     }
 
     #[test]

@@ -326,9 +326,15 @@ impl<R: Read> TraceSource for BinReader<R> {
             }
         }
         self.record_no += 1;
+        #[cfg(feature = "fault")]
+        if crate::fault::corrupts_record(self.record_no) {
+            buf[0] = 0xff;
+        }
+        let mut addr_bytes = [0u8; 8];
+        addr_bytes.copy_from_slice(&buf[1..]);
         match din_to_kind(buf[0]) {
             Some(kind) => Some(TraceRecord {
-                addr: VirtAddr(u64::from_le_bytes(buf[1..].try_into().expect("8 bytes"))),
+                addr: VirtAddr(u64::from_le_bytes(addr_bytes)),
                 kind,
             }),
             None => {

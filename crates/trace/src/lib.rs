@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault")]
+pub mod fault;
 mod interleave;
 pub mod io;
 mod record;
@@ -42,7 +44,7 @@ mod stream;
 pub mod profiles;
 pub mod synth;
 
-pub use interleave::{Interleaver, ProcessId, ScheduleEvent};
+pub use interleave::{InterleaveError, Interleaver, ProcessId, ScheduleEvent};
 pub use record::{AccessKind, Asid, TraceRecord, VirtAddr};
 pub use stats::{MixFractions, TraceStats};
 pub use stream::{BoundedSource, TraceSource, VecSource};

@@ -1,5 +1,6 @@
 //! The clock (second-chance) page-replacement algorithm.
 
+use crate::error::VmError;
 use crate::ipt::InvertedPageTable;
 use crate::page::FrameId;
 
@@ -49,11 +50,17 @@ impl ClockReplacer {
     /// chance). Unmapped frames are skipped without effect — callers
     /// should drain [`InvertedPageTable::alloc_free`] first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if every mapped frame is pinned (an OS configuration bug:
-    /// there would be nothing to replace).
-    pub fn select_victim(&mut self, ipt: &mut InvertedPageTable) -> (FrameId, u32) {
+    /// [`VmError::NoEvictableFrame`] if two full sweeps find nothing:
+    /// every mapped frame is pinned, or the memory is empty (an OS
+    /// configuration bug — there is nothing to replace). The hand
+    /// position still advances; referenced bits cleared during the
+    /// failed sweep stay cleared, as they would in a real kernel.
+    pub fn try_select_victim(
+        &mut self,
+        ipt: &mut InvertedPageTable,
+    ) -> Result<(FrameId, u32), VmError> {
         let n = ipt.num_frames();
         // Two full sweeps always suffice: the first clears every
         // referenced bit, the second must find a victim.
@@ -69,11 +76,26 @@ impl ClockReplacer {
                 Some(_) => {
                     self.total_scanned += scanned as u64;
                     self.victims += 1;
-                    return (f, scanned);
+                    return Ok((f, scanned));
                 }
             }
         }
-        panic!("clock found no replaceable frame: all frames pinned or empty");
+        Err(VmError::NoEvictableFrame)
+    }
+
+    /// As [`try_select_victim`](Self::try_select_victim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every mapped frame is pinned or the memory is empty.
+    /// The RAMpage system guarantees unpinned frames at construction
+    /// (the OS region is asserted smaller than the frame count), so this
+    /// wrapper is safe on that path.
+    pub fn select_victim(&mut self, ipt: &mut InvertedPageTable) -> (FrameId, u32) {
+        match self.try_select_victim(ipt) {
+            Ok(v) => v,
+            Err(e) => panic!("clock replacement: {e}"),
+        }
     }
 }
 
@@ -83,6 +105,28 @@ mod tests {
     use crate::page::Vpn;
     use rampage_cache::PhysAddr;
     use rampage_trace::Asid;
+
+    #[test]
+    fn no_evictable_frame_is_an_error_not_a_panic() {
+        // Empty table: nothing mapped.
+        let mut empty = InvertedPageTable::new(4, PhysAddr(0));
+        let mut clock = ClockReplacer::new();
+        assert_eq!(
+            clock.try_select_victim(&mut empty),
+            Err(VmError::NoEvictableFrame)
+        );
+        // Fully pinned table: nothing replaceable.
+        let mut pinned = InvertedPageTable::new(2, PhysAddr(0));
+        for i in 0..2 {
+            let f = pinned.alloc_free().unwrap();
+            pinned.insert_pinned(f, Asid(0), Vpn(i));
+        }
+        assert_eq!(
+            clock.try_select_victim(&mut pinned),
+            Err(VmError::NoEvictableFrame)
+        );
+        assert_eq!(clock.victims(), 0);
+    }
 
     fn full_table(frames: u32) -> InvertedPageTable {
         let mut t = InvertedPageTable::new(frames, PhysAddr(0));

@@ -1,0 +1,77 @@
+//! Typed errors for page-fault bookkeeping.
+
+use crate::page::{FrameId, Vpn};
+use rampage_trace::Asid;
+use std::fmt;
+
+/// An OS-level bookkeeping operation that could not be performed.
+///
+/// In a real OS each of these is a kernel bug; in the simulator they are
+/// surfaced as values so the sweep runner can record a failed cell
+/// instead of aborting the whole run. The panicking wrappers
+/// ([`InvertedPageTable::insert`](crate::InvertedPageTable::insert),
+/// [`ClockReplacer::select_victim`](crate::ClockReplacer::select_victim))
+/// remain for call sites where the invariant is locally guaranteed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The target frame already holds a mapping.
+    FrameAlreadyMapped {
+        /// The occupied frame.
+        frame: FrameId,
+    },
+    /// The `(asid, vpn)` pair is already mapped into another frame.
+    PageAlreadyMapped {
+        /// Owning address space.
+        asid: Asid,
+        /// The already-mapped virtual page.
+        vpn: Vpn,
+    },
+    /// A pinned frame was named as a replacement victim.
+    PinnedFrame {
+        /// The pinned frame.
+        frame: FrameId,
+    },
+    /// The clock swept every frame twice without finding a victim: every
+    /// mapped frame is pinned (or the memory is empty).
+    NoEvictableFrame,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::FrameAlreadyMapped { frame } => {
+                write!(f, "{frame} is already mapped")
+            }
+            VmError::PageAlreadyMapped { asid, vpn } => {
+                write!(f, "({asid}, {vpn}) is already mapped elsewhere")
+            }
+            VmError::PinnedFrame { frame } => {
+                write!(f, "{frame} is pinned and cannot be replaced")
+            }
+            VmError::NoEvictableFrame => write!(
+                f,
+                "no replaceable frame: every mapped frame is pinned or memory is empty"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_culprit() {
+        let s = VmError::FrameAlreadyMapped { frame: FrameId(7) }.to_string();
+        assert!(s.contains("frame:7"), "{s}");
+        let s = VmError::PageAlreadyMapped {
+            asid: Asid(3),
+            vpn: Vpn(0x10),
+        }
+        .to_string();
+        assert!(s.contains("vpn:0x10"), "{s}");
+        assert!(VmError::NoEvictableFrame.to_string().contains("pinned"));
+    }
+}

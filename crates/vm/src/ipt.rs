@@ -1,5 +1,6 @@
 //! The inverted page table.
 
+use crate::error::VmError;
 use crate::page::{FrameId, Vpn};
 use rampage_cache::PhysAddr;
 use rampage_trace::Asid;
@@ -139,10 +140,9 @@ impl InvertedPageTable {
         while let Some(f) = cur {
             probe_addrs.push(self.entry_addr(f));
             let slot = &mut self.slots[f.0 as usize];
-            let m = slot
-                .mapping
-                .as_mut()
-                .expect("chained frames are always mapped");
+            let Some(m) = slot.mapping.as_mut() else {
+                unreachable!("IPT invariant: chained frames are always mapped")
+            };
             if m.asid == asid && m.vpn == vpn {
                 m.referenced = true;
                 return IptLookup {
@@ -200,19 +200,18 @@ impl InvertedPageTable {
 
     /// Map `(asid, vpn)` into `frame`, linking it onto its hash chain.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame is already mapped or the pair is already
-    /// mapped elsewhere (both are OS bugs in a real system).
-    pub fn insert(&mut self, frame: FrameId, asid: Asid, vpn: Vpn) {
-        assert!(
-            self.slots[frame.0 as usize].mapping.is_none(),
-            "frame {frame} already mapped"
-        );
-        assert!(
-            self.frame_of(asid, vpn).is_none(),
-            "({asid}, {vpn}) already mapped"
-        );
+    /// [`VmError::FrameAlreadyMapped`] / [`VmError::PageAlreadyMapped`]
+    /// when the frame or the pair is already in use (both are OS bugs in
+    /// a real system); the table is unchanged on error.
+    pub fn try_insert(&mut self, frame: FrameId, asid: Asid, vpn: Vpn) -> Result<(), VmError> {
+        if self.slots[frame.0 as usize].mapping.is_some() {
+            return Err(VmError::FrameAlreadyMapped { frame });
+        }
+        if self.frame_of(asid, vpn).is_some() {
+            return Err(VmError::PageAlreadyMapped { asid, vpn });
+        }
         let bucket = self.bucket_of(asid, vpn);
         self.slots[frame.0 as usize] = Slot {
             mapping: Some(Mapping {
@@ -226,17 +225,33 @@ impl InvertedPageTable {
         };
         self.hat[bucket] = Some(frame);
         self.mapped += 1;
+        Ok(())
+    }
+
+    /// Map `(asid, vpn)` into `frame`, linking it onto its hash chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already mapped or the pair is already
+    /// mapped elsewhere; use [`try_insert`](Self::try_insert) to handle
+    /// those as values.
+    pub fn insert(&mut self, frame: FrameId, asid: Asid, vpn: Vpn) {
+        if let Err(e) = self.try_insert(frame, asid, vpn) {
+            panic!("IPT insert: {e}");
+        }
     }
 
     /// Map and pin a frame (OS code / page-table residency). Pinned
     /// frames are skipped by the clock replacer.
+    ///
+    /// # Panics
+    ///
+    /// As [`insert`](Self::insert).
     pub fn insert_pinned(&mut self, frame: FrameId, asid: Asid, vpn: Vpn) {
         self.insert(frame, asid, vpn);
-        self.slots[frame.0 as usize]
-            .mapping
-            .as_mut()
-            .expect("just inserted")
-            .pinned = true;
+        if let Some(m) = self.slots[frame.0 as usize].mapping.as_mut() {
+            m.pinned = true;
+        }
     }
 
     /// Unmap a frame, unlinking it from its chain. Returns the old
@@ -255,12 +270,17 @@ impl InvertedPageTable {
     /// path, where the frame's contents stay intact until the page is
     /// discarded for real. Pair with [`release`](Self::release).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the frame is pinned.
-    pub fn remove_reserved(&mut self, frame: FrameId) -> Option<Mapping> {
-        let m = self.slots[frame.0 as usize].mapping?;
-        assert!(!m.pinned, "cannot remove pinned frame {frame}");
+    /// [`VmError::PinnedFrame`] if the frame is pinned (pinned frames
+    /// hold the OS and the table itself; replacing one is a kernel bug).
+    pub fn try_remove_reserved(&mut self, frame: FrameId) -> Result<Option<Mapping>, VmError> {
+        let Some(m) = self.slots[frame.0 as usize].mapping else {
+            return Ok(None);
+        };
+        if m.pinned {
+            return Err(VmError::PinnedFrame { frame });
+        }
         let bucket = self.bucket_of(m.asid, m.vpn);
         // Unlink from the chain.
         if self.hat[bucket] == Some(frame) {
@@ -278,7 +298,20 @@ impl InvertedPageTable {
         }
         self.slots[frame.0 as usize] = Slot::default();
         self.mapped -= 1;
-        Some(m)
+        Ok(Some(m))
+    }
+
+    /// As [`try_remove_reserved`](Self::try_remove_reserved), panicking
+    /// on a pinned frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is pinned.
+    pub fn remove_reserved(&mut self, frame: FrameId) -> Option<Mapping> {
+        match self.try_remove_reserved(frame) {
+            Ok(m) => m,
+            Err(e) => panic!("IPT remove: {e}"),
+        }
     }
 
     /// Return a frame previously detached with
@@ -306,13 +339,13 @@ impl InvertedPageTable {
     ///
     /// # Panics
     ///
-    /// Panics if the frame is unmapped.
+    /// Panics if the frame is unmapped (the caller just resolved the
+    /// frame through the TLB or table, so this is an internal invariant).
     pub fn set_dirty(&mut self, frame: FrameId) {
-        self.slots[frame.0 as usize]
-            .mapping
-            .as_mut()
-            .expect("dirtying unmapped frame")
-            .dirty = true;
+        match self.slots[frame.0 as usize].mapping.as_mut() {
+            Some(m) => m.dirty = true,
+            None => panic!("VM invariant: dirtying unmapped {frame}"),
+        }
     }
 
     /// Clear the referenced bit (the clock hand sweeping past).
@@ -440,6 +473,41 @@ mod tests {
         let f = t.alloc_free().unwrap();
         t.insert(f, Asid(1), Vpn(1));
         t.insert(f, Asid(1), Vpn(2));
+    }
+
+    #[test]
+    fn try_insert_reports_conflicts_without_mutating() {
+        use crate::error::VmError;
+        let mut t = table(4);
+        let f = t.alloc_free().unwrap();
+        assert_eq!(t.try_insert(f, Asid(1), Vpn(1)), Ok(()));
+        assert_eq!(
+            t.try_insert(f, Asid(1), Vpn(2)),
+            Err(VmError::FrameAlreadyMapped { frame: f })
+        );
+        let g = t.alloc_free().unwrap();
+        assert_eq!(
+            t.try_insert(g, Asid(1), Vpn(1)),
+            Err(VmError::PageAlreadyMapped {
+                asid: Asid(1),
+                vpn: Vpn(1)
+            })
+        );
+        assert_eq!(t.mapped_frames(), 1, "failed inserts change nothing");
+        assert_eq!(t.frame_of(Asid(1), Vpn(1)), Some(f));
+    }
+
+    #[test]
+    fn try_remove_reserved_refuses_pinned() {
+        use crate::error::VmError;
+        let mut t = table(4);
+        let f = t.alloc_free().unwrap();
+        t.insert_pinned(f, Asid(0), Vpn(0));
+        assert_eq!(
+            t.try_remove_reserved(f),
+            Err(VmError::PinnedFrame { frame: f })
+        );
+        assert_eq!(t.mapped_frames(), 1, "pinned mapping survives");
     }
 
     #[test]

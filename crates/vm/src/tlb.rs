@@ -111,8 +111,11 @@ impl Tlb {
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<FrameId> {
         match self.index.get(&(asid, vpn)) {
             Some(&slot) => {
+                let Some(entry) = self.slots[slot] else {
+                    unreachable!("TLB invariant: indexed slot {slot} is empty")
+                };
                 self.stats.hits += 1;
-                Some(self.slots[slot].expect("indexed slot is filled").frame)
+                Some(entry.frame)
             }
             None => {
                 self.stats.misses += 1;
@@ -123,9 +126,12 @@ impl Tlb {
 
     /// Peek without touching statistics (for assertions and tests).
     pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<FrameId> {
-        self.index
-            .get(&(asid, vpn))
-            .map(|&slot| self.slots[slot].expect("indexed slot is filled").frame)
+        self.index.get(&(asid, vpn)).map(|&slot| {
+            let Some(entry) = self.slots[slot] else {
+                unreachable!("TLB invariant: indexed slot {slot} is empty")
+            };
+            entry.frame
+        })
     }
 
     /// Insert a translation (after a handler refill), evicting a random

@@ -14,6 +14,16 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
 cargo clippy --workspace --all-targets --all-features -- -D warnings
 
+# Library code must not unwrap/expect: every fallible path either
+# returns a typed error or panics via a documented invariant assert.
+# Tests and benches are exempt (unwrap is the right tool there).
+LIB_CRATES=(rampage-json rand criterion rampage-trace rampage-cache rampage-dram rampage-vm rampage-core)
+for crate in "${LIB_CRATES[@]}"; do
+  echo "==> cargo clippy --lib -p ${crate} (deny unwrap/expect)"
+  cargo clippy -q --lib -p "${crate}" -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+done
+
 echo "==> cargo build --release (tier-1)"
 cargo build --release
 
@@ -22,5 +32,8 @@ cargo test -q
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo test -q --features fault (fault-injection suite)"
+cargo test -q --features fault
 
 echo "All checks passed."

@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the RAMpage paper.
 //!
 //! ```text
-//! repro [--scale N] [--nbench N] [--jobs N] [--out DIR] <artifact>...
+//! repro [--scale N] [--nbench N] [--jobs N] [--out DIR]
+//!       [--max-cell-failures N] <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
 //!            ablations perbench diag all
@@ -13,6 +14,12 @@
 //! text tables and, with `--out`, also dumped as JSON for
 //! EXPERIMENTS.md; `--out` additionally persists the cell cache
 //! (`cells.json`) so overlapping sweeps across invocations are reused.
+//!
+//! Failed cells (invalid configs, simulation panics) do not abort the
+//! run: their table slots hold inert zero cells, a failure report is
+//! printed at the end, and the exit code is non-zero only when the
+//! failure count exceeds `--max-cell-failures` (default 0 — any failure
+//! fails the invocation, but only after every artifact has rendered).
 
 use rampage_core::experiments::{
     ablations, anatomy, fig5, figures, per_benchmark, table1, table2, table3, table4, table5,
@@ -31,6 +38,7 @@ struct Options {
     nbench: usize,
     jobs: usize,
     out_dir: Option<String>,
+    max_cell_failures: usize,
     artifacts: Vec<String>,
 }
 
@@ -40,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
         nbench: 18,
         jobs: 0, // 0 = all available cores
         out_dir: None,
+        max_cell_failures: 0,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -64,6 +73,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.jobs = v.parse().map_err(|_| format!("bad jobs: {v}"))?;
             }
             "--out" => opts.out_dir = Some(args.next().ok_or("--out needs a directory")?),
+            "--max-cell-failures" => {
+                let v = args.next().ok_or("--max-cell-failures needs a value")?;
+                opts.max_cell_failures = v
+                    .parse()
+                    .map_err(|_| format!("bad max-cell-failures: {v}"))?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -81,6 +96,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--jobs N] [--out DIR] \
+[--max-cell-failures N] \
 <table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...";
 
 fn main() {
@@ -114,9 +130,9 @@ fn main() {
         .as_ref()
         .map(|d| Path::new(d).join("cells.json"));
     if let Some(path) = &cells_path {
-        let loaded = runner.cache().load_file(path);
-        if loaded > 0 {
-            eprintln!("# loaded {loaded} cached cell(s) from {}", path.display());
+        let load = runner.cache().load_file(path);
+        if !load.is_clean() || load.loaded > 0 {
+            eprintln!("# cache {}: {}", path.display(), load.describe());
         }
     }
 
@@ -281,25 +297,54 @@ fn main() {
         );
     }
 
+    // Persistence failures must not discard the rendered results above:
+    // warn and carry the failure into the exit code instead of dying.
+    let mut persist_failed = false;
     if let Some(dir) = &opts.out_dir {
-        std::fs::create_dir_all(dir).expect("create output dir");
-        let path = format!("{dir}/results.json");
-        let mut f = std::fs::File::create(&path).expect("create results.json");
         let results: Vec<(String, Json)> = json.into_iter().collect();
         let doc = obj! {
             "scale" => opts.scale,
             "nbench" => opts.nbench,
             "results" => Json::Obj(results),
         };
-        writeln!(f, "{}", doc.pretty()).expect("write json");
-        eprintln!("# wrote {path}");
-        if let Some(cpath) = &cells_path {
-            runner.cache().save_file(cpath).expect("write cells.json");
-            eprintln!(
-                "# wrote {} ({} cell(s))",
-                cpath.display(),
-                runner.cache().len()
-            );
+        let path = format!("{dir}/results.json");
+        match std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::File::create(&path))
+            .and_then(|mut f| writeln!(f, "{}", doc.pretty()))
+        {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => {
+                eprintln!("# WARNING: could not write {path}: {e}");
+                persist_failed = true;
+            }
         }
+        if let Some(cpath) = &cells_path {
+            match runner.cache().save_file(cpath) {
+                Ok(()) => eprintln!(
+                    "# wrote {} ({} cell(s))",
+                    cpath.display(),
+                    runner.cache().len()
+                ),
+                Err(e) => {
+                    eprintln!("# WARNING: could not write {}: {e}", cpath.display());
+                    persist_failed = true;
+                }
+            }
+        }
+    }
+
+    let failures = runner.failure_count();
+    if failures > 0 {
+        eprintln!("{}", runner.failure_report());
+    }
+    if failures > opts.max_cell_failures {
+        eprintln!(
+            "# FAILED: {failures} failed cell(s) exceeds --max-cell-failures {}",
+            opts.max_cell_failures
+        );
+        std::process::exit(1);
+    }
+    if persist_failed {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,167 @@
+//! Crash-safety tests for the persisted cell cache: a damaged
+//! `cells.json` — however it got that way — must load as an empty or
+//! partial cache with the bad file quarantined, and must never panic or
+//! abort the run.
+
+use rampage_core::experiments::{CellCache, Job, SweepRunner, Workload, CACHE_FORMAT_VERSION};
+use rampage_core::{IssueRate, SystemConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A unique scratch directory per test (no tempfile crate offline).
+fn scratch(name: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rampage-cache-recovery-{}-{name}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Run a tiny sweep and persist its cache, returning the runner (for
+/// reference cells) and the saved file's path.
+fn saved_cache(dir: &std::path::Path) -> (SweepRunner, PathBuf, Vec<Job>) {
+    let w = Workload::quick();
+    let jobs = vec![
+        Job::new(SystemConfig::baseline(IssueRate::GHZ1, 256), w),
+        Job::new(SystemConfig::rampage(IssueRate::GHZ1, 512), w),
+        Job::new(SystemConfig::two_way(IssueRate::GHZ1, 1024), w),
+    ];
+    let runner = SweepRunner::serial();
+    runner.run_batch(&jobs);
+    let path = dir.join("cells.json");
+    runner.cache().save_file(&path).expect("save");
+    (runner, path, jobs)
+}
+
+#[test]
+fn missing_file_is_a_clean_cold_start() {
+    let dir = scratch("missing");
+    let cache = CellCache::new();
+    let load = cache.load_file(&dir.join("cells.json"));
+    assert!(load.is_clean());
+    assert_eq!(load.loaded, 0);
+    assert!(load.quarantined.is_none());
+    assert!(cache.is_empty());
+    assert!(!dir.join("cells.json.corrupt").exists());
+}
+
+#[test]
+fn save_is_atomic_and_reloads_cleanly() {
+    let dir = scratch("atomic");
+    let (runner, path, jobs) = saved_cache(&dir);
+    assert!(
+        !dir.join("cells.json.tmp").exists(),
+        "the temp file must not survive a successful save"
+    );
+    // Overwriting an existing file also works.
+    runner.cache().save_file(&path).expect("overwrite");
+    let fresh = CellCache::new();
+    let load = fresh.load_file(&path);
+    assert!(load.is_clean(), "{}", load.describe());
+    assert_eq!(load.loaded, jobs.len());
+    for job in &jobs {
+        assert_eq!(
+            fresh.get(job.fingerprint()),
+            runner.cache().get(job.fingerprint())
+        );
+    }
+}
+
+#[test]
+fn truncated_file_is_quarantined_not_fatal() {
+    let dir = scratch("truncated");
+    let (_, path, _) = saved_cache(&dir);
+    let text = std::fs::read_to_string(&path).expect("read back");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+    let cache = CellCache::new();
+    let load = cache.load_file(&path);
+    assert!(!load.is_clean());
+    assert!(load.error.is_some(), "torn JSON is a whole-file error");
+    assert_eq!(load.loaded, 0);
+    assert!(cache.is_empty());
+    assert!(load.describe().contains("quarantined"));
+    let q = load.quarantined.expect("file quarantined");
+    assert!(q.ends_with("cells.json.corrupt"));
+    assert!(q.exists());
+    assert!(!path.exists(), "the bad file is moved aside");
+
+    // The next save rebuilds a clean file in its place.
+    cache.save_file(&path).expect("rebuild");
+    assert!(CellCache::new().load_file(&path).is_clean());
+}
+
+#[test]
+fn empty_file_is_quarantined_not_fatal() {
+    let dir = scratch("empty");
+    let path = dir.join("cells.json");
+    std::fs::write(&path, "").expect("write empty file");
+    let cache = CellCache::new();
+    let load = cache.load_file(&path);
+    assert!(!load.is_clean());
+    assert_eq!(load.loaded, 0);
+    assert!(load.quarantined.is_some());
+    assert!(!path.exists());
+}
+
+#[test]
+fn bit_flipped_entry_is_skipped_and_file_quarantined() {
+    let dir = scratch("bitflip");
+    let (_, path, jobs) = saved_cache(&dir);
+    // Tamper with one entry's stored checksum: the entry no longer
+    // matches its body, exactly as a flipped bit in the body would fail
+    // to match the stored sum.
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let i = text.find("\"sum\": ").expect("a sum field") + "\"sum\": ".len();
+    let mut bytes = text.into_bytes();
+    bytes[i] = if bytes[i] == b'1' { b'2' } else { b'1' };
+    std::fs::write(&path, &bytes).expect("tamper");
+
+    let cache = CellCache::new();
+    let load = cache.load_file(&path);
+    assert_eq!(load.skipped, 1, "{}", load.describe());
+    assert_eq!(load.loaded, jobs.len() - 1, "good neighbours survive");
+    assert!(load.quarantined.is_some(), "partial rot still quarantines");
+    assert_eq!(cache.len(), jobs.len() - 1);
+}
+
+#[test]
+fn version_bump_is_quarantined_and_rebuilt() {
+    let dir = scratch("version");
+    let (runner, path, jobs) = saved_cache(&dir);
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let old = format!("\"version\": {CACHE_FORMAT_VERSION}");
+    assert!(text.contains(&old), "header present");
+    std::fs::write(&path, text.replacen(&old, "\"version\": 1", 1)).expect("downgrade");
+
+    let cache = CellCache::new();
+    let load = cache.load_file(&path);
+    assert!(!load.is_clean());
+    assert_eq!(load.loaded, 0, "stale fingerprints must not serve cells");
+    assert!(load.describe().contains("version"), "{}", load.describe());
+    assert!(load.quarantined.is_some());
+    assert!(cache.is_empty());
+
+    // A run after the quarantine starts cold and persists the new format.
+    runner.cache().save_file(&path).expect("rebuild");
+    let fresh = CellCache::new();
+    let reload = fresh.load_file(&path);
+    assert!(reload.is_clean());
+    assert_eq!(reload.loaded, jobs.len());
+}
+
+#[test]
+fn garbage_json_shape_is_quarantined() {
+    // Valid JSON, wrong shape: not this cache's format at all.
+    let dir = scratch("shape");
+    let path = dir.join("cells.json");
+    std::fs::write(&path, "[1, 2, 3]\n").expect("write garbage");
+    let cache = CellCache::new();
+    let load = cache.load_file(&path);
+    assert!(!load.is_clean());
+    assert!(load.quarantined.is_some());
+    assert!(cache.is_empty());
+}

@@ -1,0 +1,145 @@
+//! The fault-injection suite (`cargo test --features fault`): arm a
+//! deterministic fault, run the machinery that should absorb it, and
+//! check the typed failure surfaces exactly where the design says it
+//! does. Injection state is process-global, so every test serializes on
+//! one mutex and disarms on the way out.
+
+#![cfg(feature = "fault")]
+
+use rampage_core::experiments::{fault, CellCache, Job, SweepRunner, Workload};
+use rampage_core::{IssueRate, SystemConfig};
+use rampage_trace::io::{BinReader, BinWriter, TraceIoError};
+use rampage_trace::{TraceRecord, TraceSource};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Take the global injection lock and start from a disarmed state; the
+/// guard disarms again on drop, even if the test fails.
+fn armed_section() -> impl Drop {
+    struct Guard(#[allow(dead_code)] MutexGuard<'static, ()>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            fault::reset();
+            rampage_trace::fault::disarm();
+        }
+    }
+    let g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    fault::reset();
+    rampage_trace::fault::disarm();
+    Guard(g)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rampage-fault-injection-{}-{name}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn injected_panic_is_retried_to_success() {
+    let _g = armed_section();
+    let job = Job::new(
+        SystemConfig::rampage(IssueRate::GHZ1, 512),
+        Workload::quick(),
+    );
+    fault::arm_cell_panic(job.fingerprint(), 1);
+    let runner = SweepRunner::serial();
+    let cells = runner.run_batch(&[job]);
+    assert!(cells[0].seconds > 0.0, "the retry produced a real cell");
+    assert_eq!(runner.failure_count(), 0, "a transient panic is absorbed");
+    assert_eq!(runner.cache().len(), 1, "the retried cell is cached");
+}
+
+#[test]
+fn persistent_panic_becomes_failed_cell_while_siblings_complete() {
+    let _g = armed_section();
+    let w = Workload::quick();
+    let bad = Job::new(SystemConfig::rampage(IssueRate::GHZ1, 512), w);
+    let good = Job::new(SystemConfig::baseline(IssueRate::GHZ1, 256), w);
+    fault::arm_cell_panic(bad.fingerprint(), 2);
+    let runner = SweepRunner::new(4);
+    let cells = runner.run_batch(&[good, bad]);
+    assert!(cells[0].seconds > 0.0, "sibling completes");
+    assert_eq!(cells[1].seconds, 0.0, "failed slot holds the placeholder");
+    let failures = runner.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].attempts, 2, "one retry before giving up");
+    assert_eq!(failures[0].fingerprint, bad.fingerprint());
+    assert!(
+        failures[0].error.contains("injected fault"),
+        "{}",
+        failures[0].error
+    );
+    assert_eq!(runner.cache().len(), 1, "failed cells are never cached");
+}
+
+#[test]
+fn torn_save_is_quarantined_on_the_next_load() {
+    let _g = armed_section();
+    let dir = scratch("torn");
+    let path = dir.join("cells.json");
+    let runner = SweepRunner::serial();
+    runner.run_one(
+        &SystemConfig::baseline(IssueRate::GHZ1, 256),
+        &Workload::quick(),
+    );
+
+    fault::arm_torn_save(1);
+    runner
+        .cache()
+        .save_file(&path)
+        .expect("the torn save itself reports success");
+    let half = std::fs::metadata(&path).expect("file exists").len();
+
+    let cache = CellCache::new();
+    let load = cache.load_file(&path);
+    assert!(!load.is_clean(), "a torn file must not load cleanly");
+    assert_eq!(load.loaded, 0);
+    assert!(load.error.is_some());
+    assert!(load.quarantined.is_some());
+    assert!(!path.exists(), "the torn file is moved aside");
+
+    // Disarmed, the save is atomic again and strictly longer than the
+    // torn half, and reloads cleanly.
+    runner.cache().save_file(&path).expect("clean save");
+    assert!(std::fs::metadata(&path).expect("file exists").len() > half);
+    assert!(CellCache::new().load_file(&path).is_clean());
+}
+
+#[test]
+fn corrupt_trace_record_surfaces_as_typed_error_not_panic() {
+    let _g = armed_section();
+    let mut w = BinWriter::new(Vec::new()).expect("header");
+    for i in 0..5u64 {
+        w.write(TraceRecord::read(0x1000 + 8 * i)).expect("write");
+    }
+    let bytes = w.finish().expect("finish");
+
+    rampage_trace::fault::arm_corrupt_record(3);
+    let mut r = BinReader::new(&bytes[..]).expect("magic");
+    assert!(r.next_record().is_some());
+    assert!(r.next_record().is_some());
+    assert_eq!(r.next_record(), None, "stream ends at the corrupt record");
+    match r.error() {
+        Some(TraceIoError::Malformed(what, 3)) => {
+            assert!(what.contains("kind byte"), "{what}");
+        }
+        other => panic!("expected Malformed at record 3, got {other:?}"),
+    }
+    assert_eq!(r.next_record(), None, "the stream stays ended");
+
+    // Disarmed, the same bytes decode in full.
+    rampage_trace::fault::disarm();
+    let mut r = BinReader::new(&bytes[..]).expect("magic");
+    let n = std::iter::from_fn(|| r.next_record()).count();
+    assert_eq!(n, 5);
+    assert!(r.error().is_none());
+}

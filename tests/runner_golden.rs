@@ -1,12 +1,29 @@
 //! Golden tests for the sweep runner: the parallel pool must be
-//! bit-identical to the serial path, and the cell cache must dedup
-//! overlapping sweeps across artifacts.
+//! bit-identical to the serial path, the cell cache must dedup
+//! overlapping sweeps across artifacts, and a failing job must be
+//! isolated to its own cell instead of killing the sweep.
 
 use rampage_core::experiments::{
     ablations, table3, table4, table5, timeslice, Job, SweepRunner, Workload,
 };
-use rampage_core::{IssueRate, SystemConfig};
+use rampage_core::{HierarchyKind, IssueRate, SystemConfig};
 use rampage_json::ToJson;
+
+/// A job that passes [`SystemConfig::validate`] but panics inside the
+/// simulation: the standby list's capacity check only trips once the
+/// RAMpage system computes its real frame count. This is a genuine
+/// (undiagnosable-at-validation) runtime invariant, which is exactly
+/// what the runner's isolation boundary exists for.
+fn panicking_job(w: Workload) -> Job {
+    let mut cfg = SystemConfig::rampage(IssueRate::GHZ1, 512);
+    match cfg.hierarchy {
+        HierarchyKind::Rampage(ref mut r) => r.standby_pages = Some(1_000_000),
+        HierarchyKind::Conventional(_) => unreachable!("rampage preset"),
+    }
+    cfg.validate()
+        .expect("job must pass validation to reach the panic");
+    Job::new(cfg, w)
+}
 
 #[test]
 fn parallel_sweep_is_bit_identical_to_serial() {
@@ -44,6 +61,71 @@ fn parallel_batch_with_duplicates_keeps_order_and_dedups() {
     );
     // The serial path returns the same vector.
     assert_eq!(SweepRunner::serial().run_batch(&jobs), cells);
+}
+
+#[test]
+fn panicking_job_yields_failed_cell_while_siblings_complete() {
+    let w = Workload::quick();
+    let good_a = Job::new(SystemConfig::baseline(IssueRate::GHZ1, 256), w);
+    let bad = panicking_job(w);
+    let good_b = Job::new(SystemConfig::rampage(IssueRate::GHZ1, 1024), w);
+    for (label, runner) in [
+        ("serial", SweepRunner::serial()),
+        ("parallel", SweepRunner::new(4)),
+    ] {
+        let cells = runner.run_batch(&[good_a, bad, good_b]);
+        assert_eq!(cells.len(), 3, "{label}: sweep keeps its shape");
+        assert!(cells[0].seconds > 0.0, "{label}: first sibling simulated");
+        assert_eq!(
+            cells[1].seconds, 0.0,
+            "{label}: failed slot holds the inert placeholder"
+        );
+        assert_eq!(cells[1].unit_bytes, 512, "{label}: placeholder is labelled");
+        assert!(cells[2].seconds > 0.0, "{label}: second sibling simulated");
+
+        let failures = runner.failures();
+        assert_eq!(failures.len(), 1, "{label}: one failure recorded");
+        let f = &failures[0];
+        assert_eq!(f.attempts, 2, "{label}: a panicking cell is retried once");
+        assert_eq!(f.unit_bytes, 512);
+        assert_eq!(f.fingerprint, bad.fingerprint());
+        assert!(
+            f.error.contains("standby capacity"),
+            "{label}: carries the panic message: {}",
+            f.error
+        );
+        assert!(
+            f.error.contains("rampage.rs"),
+            "{label}: carries the panic location: {}",
+            f.error
+        );
+        assert_eq!(
+            runner.cache().len(),
+            2,
+            "{label}: failed cells are never cached"
+        );
+        assert!(runner.failure_report().contains("standby capacity"));
+    }
+}
+
+#[test]
+fn failed_cells_do_not_break_golden_equality() {
+    let w = Workload::quick();
+    let jobs = [
+        Job::new(SystemConfig::baseline(IssueRate::GHZ1, 256), w),
+        panicking_job(w),
+        Job::new(SystemConfig::two_way(IssueRate::GHZ1, 512), w),
+        panicking_job(w), // duplicate of the bad job: dedup still applies
+    ];
+    let serial = SweepRunner::serial();
+    let parallel = SweepRunner::new(4);
+    assert_eq!(
+        serial.run_batch(&jobs),
+        parallel.run_batch(&jobs),
+        "pools must not change results, failures included"
+    );
+    assert_eq!(serial.failures(), parallel.failures());
+    assert_eq!(serial.failure_count(), 1, "duplicate bad job fails once");
 }
 
 #[test]
