@@ -185,6 +185,24 @@ impl Cell {
         }
     }
 
+    /// Summarize a finished run as a cell (what [`run_config`] returns).
+    pub fn from_run(cfg: &SystemConfig, out: &crate::engine::RunOutcome) -> Cell {
+        let m = &out.metrics;
+        Cell {
+            unit_bytes: cfg.hierarchy.unit_bytes(),
+            issue_mhz: cfg.issue.mhz(),
+            seconds: out.seconds,
+            cycles_per_ref: m.cycles_per_ref(),
+            fractions: m.time.fractions(),
+            overhead: m.counts.handler_overhead_ratio(),
+            dram_events: m.counts.page_faults + m.counts.dram_block_fetches,
+            tlb_miss_ratio: m.counts.tlb.miss_ratio(),
+            l1i_miss_ratio: m.counts.l1i.miss_ratio(),
+            l1d_miss_ratio: m.counts.l1d.miss_ratio(),
+            l2_miss_ratio: m.counts.l2.miss_ratio(),
+        }
+    }
+
     /// Rebuild a cell from its [`ToJson`] form (the persisted-cache
     /// format); `None` on any missing or mistyped field.
     pub fn from_json(doc: &Json) -> Option<Cell> {
@@ -219,20 +237,23 @@ impl Cell {
 pub fn run_config(cfg: &SystemConfig, workload: &Workload) -> Cell {
     let mut engine = Engine::new(cfg, workload.sources());
     let out = engine.run();
-    let m = out.metrics;
-    Cell {
-        unit_bytes: cfg.hierarchy.unit_bytes(),
-        issue_mhz: cfg.issue.mhz(),
-        seconds: out.seconds,
-        cycles_per_ref: m.cycles_per_ref(),
-        fractions: m.time.fractions(),
-        overhead: m.counts.handler_overhead_ratio(),
-        dram_events: m.counts.page_faults + m.counts.dram_block_fetches,
-        tlb_miss_ratio: m.counts.tlb.miss_ratio(),
-        l1i_miss_ratio: m.counts.l1i.miss_ratio(),
-        l1d_miss_ratio: m.counts.l1d.miss_ratio(),
-        l2_miss_ratio: m.counts.l2.miss_ratio(),
-    }
+    Cell::from_run(cfg, &out)
+}
+
+/// Like [`run_config`], but with event tracing enabled into a ring of at
+/// most `trace_cap` events. Returns the cell together with the full
+/// [`RunOutcome`] (events, per-process summaries, histograms); the cell
+/// is bit-identical to the untraced one — the observability suite proves
+/// it.
+pub fn run_config_traced(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    trace_cap: usize,
+) -> (Cell, crate::engine::RunOutcome) {
+    let mut engine = Engine::new(cfg, workload.sources());
+    engine.enable_trace(trace_cap);
+    let out = engine.run();
+    (Cell::from_run(cfg, &out), out)
 }
 
 /// Run `make_cfg(issue, size)` over a size sweep at one issue rate,

@@ -37,5 +37,7 @@ pub mod table4;
 pub mod table5;
 pub mod timeslice;
 
-pub use common::{run_config, sweep_sizes, Cell, Workload, PAPER_SIZES};
-pub use runner::{CacheLoad, CellCache, FailedCell, Job, SweepRunner, CACHE_FORMAT_VERSION};
+pub use common::{run_config, run_config_traced, sweep_sizes, Cell, Workload, PAPER_SIZES};
+pub use runner::{
+    CacheLoad, CellCache, FailedCell, Job, ProgressUpdate, SweepRunner, CACHE_FORMAT_VERSION,
+};

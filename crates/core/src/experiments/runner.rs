@@ -506,13 +506,84 @@ mod panic_capture {
     }
 }
 
+/// What a sweep's progress callback sees each time a cell finishes
+/// computing (cache hits never fire it — only real simulations do).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressUpdate {
+    /// [`Job::fingerprint`] of the finished cell.
+    pub fingerprint: u64,
+    /// The cell's L2 block / SRAM page size.
+    pub unit_bytes: u64,
+    /// The cell's issue rate in MHz.
+    pub issue_mhz: u32,
+    /// Whether the cell failed (and holds a placeholder).
+    pub failed: bool,
+    /// Wall-clock seconds this cell's simulation took.
+    pub cell_secs: f64,
+    /// Cells finished so far in the current batch (this one included).
+    pub batch_done: usize,
+    /// Cells the current batch set out to compute.
+    pub batch_total: usize,
+    /// Cells of the current batch served from the cache instead.
+    pub batch_cached: usize,
+    /// Naive remaining-work estimate: mean cell time × cells left ÷
+    /// workers.
+    pub eta_secs: f64,
+}
+
+/// Shared batch state snapshotted when a cell finishes, feeding the
+/// ETA of the [`ProgressUpdate`] it triggers.
+#[derive(Debug, Clone, Copy)]
+struct BatchProgress {
+    done: usize,
+    total: usize,
+    cached: usize,
+    mean_secs: f64,
+    workers: usize,
+}
+
+/// Wall-clock record of one computed cell, for `metrics.json`.
+#[derive(Debug, Clone, PartialEq)]
+struct CellTiming {
+    fingerprint: u64,
+    unit_bytes: u64,
+    issue_mhz: u32,
+    secs: f64,
+    failed: bool,
+}
+
+/// Accumulated sweep telemetry (wall-clock side; the deterministic
+/// counters live in [`CellCache`]).
+#[derive(Debug, Default)]
+struct Telemetry {
+    batches: u64,
+    total_secs: f64,
+    cells: Vec<CellTiming>,
+}
+
+type ProgressFn = Box<dyn Fn(&ProgressUpdate) + Send + Sync>;
+
 /// The parallel memoized sweep runner every experiment module submits
 /// its simulations through.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SweepRunner {
     jobs: usize,
     cache: CellCache,
     failures: Mutex<Vec<FailedCell>>,
+    telemetry: Mutex<Telemetry>,
+    progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("jobs", &self.jobs)
+            .field("cache", &self.cache)
+            .field("failures", &self.failures)
+            .field("telemetry", &self.telemetry)
+            .field("progress", &self.progress.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 /// How a single pending job ended: a real cell, or a failure record.
@@ -574,6 +645,54 @@ impl SweepRunner {
             jobs,
             cache: CellCache::new(),
             failures: Mutex::new(Vec::new()),
+            telemetry: Mutex::new(Telemetry::default()),
+            progress: None,
+        }
+    }
+
+    /// Install a progress callback, fired from worker threads once per
+    /// computed cell (heartbeat lines, progress bars). The callback must
+    /// not submit work back into this runner.
+    pub fn with_progress(mut self, f: impl Fn(&ProgressUpdate) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// The machine-readable sweep telemetry document (`metrics.json`):
+    /// deterministic counters at the top level, every wall-clock-derived
+    /// quantity isolated under the `"wall"` key so determinism checks can
+    /// strip one subtree and compare the rest byte-for-byte.
+    pub fn telemetry_json(&self) -> Json {
+        let t = lock_recovering(&self.telemetry);
+        let mut cells: Vec<CellTiming> = t.cells.clone();
+        cells.sort_by(|a, b| {
+            (a.fingerprint, a.unit_bytes, a.issue_mhz).cmp(&(
+                b.fingerprint,
+                b.unit_bytes,
+                b.issue_mhz,
+            ))
+        });
+        obj! {
+            "version" => 1u64,
+            "workers" => self.jobs,
+            "batches" => t.batches,
+            "cells_computed" => self.cache.computed(),
+            "cache_hits" => self.cache.hits(),
+            "distinct_cells" => self.cache.len(),
+            "failures" => self.failure_count(),
+            "wall" => obj! {
+                "total_secs" => t.total_secs,
+                "cells" => cells
+                    .iter()
+                    .map(|c| obj! {
+                        "fp" => c.fingerprint,
+                        "unit_bytes" => c.unit_bytes,
+                        "issue_mhz" => c.issue_mhz,
+                        "secs" => c.secs,
+                        "failed" => c.failed,
+                    })
+                    .collect::<Vec<Json>>(),
+            },
         }
     }
 
@@ -640,21 +759,25 @@ impl SweepRunner {
     /// yield [`Cell::failed_placeholder`] (never cached) and are
     /// recorded in [`failures`](Self::failures).
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<Cell> {
+        let batch_start = std::time::Instant::now();
         let mut slots: Vec<Option<Cell>> = vec![None; jobs.len()];
         // First occurrence of each uncached fingerprint, in order.
         let mut pending: Vec<(u64, Job)> = Vec::new();
         // fingerprint -> slots awaiting it.
         let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut cached = 0usize;
         for (i, job) in jobs.iter().enumerate() {
             let fp = job.fingerprint();
             if let Some(cell) = self.cache.get(fp) {
                 slots[i] = Some(cell);
+                cached += 1;
                 continue;
             }
             match waiters.entry(fp) {
                 Entry::Occupied(mut e) => {
                     // Deduplicated within the batch: count as a hit.
                     self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    cached += 1;
                     e.get_mut().push(i);
                 }
                 Entry::Vacant(e) => {
@@ -664,7 +787,12 @@ impl SweepRunner {
             }
         }
 
-        let mut computed = self.execute(&pending);
+        let mut computed = self.execute(&pending, cached);
+        {
+            let mut t = lock_recovering(&self.telemetry);
+            t.batches += 1;
+            t.total_secs += batch_start.elapsed().as_secs_f64();
+        }
         // Completion order is nondeterministic under the pool; submission
         // order keeps results — and the failure log — deterministic.
         computed.sort_by_key(|&(k, _)| k);
@@ -696,19 +824,74 @@ impl SweepRunner {
             .collect()
     }
 
+    /// Record one computed cell's wall time and fire the progress
+    /// callback. The [`BatchProgress`] comes back from shared batch
+    /// counters so the ETA improves as the batch drains.
+    fn observe_cell(&self, fp: u64, job: &Job, secs: f64, failed: bool, batch: BatchProgress) {
+        let unit_bytes = job.cfg.hierarchy.unit_bytes();
+        let issue_mhz = job.cfg.issue.mhz();
+        lock_recovering(&self.telemetry).cells.push(CellTiming {
+            fingerprint: fp,
+            unit_bytes,
+            issue_mhz,
+            secs,
+            failed,
+        });
+        if let Some(cb) = &self.progress {
+            let remaining = batch.total.saturating_sub(batch.done);
+            cb(&ProgressUpdate {
+                fingerprint: fp,
+                unit_bytes,
+                issue_mhz,
+                failed,
+                cell_secs: secs,
+                batch_done: batch.done,
+                batch_total: batch.total,
+                batch_cached: batch.cached,
+                eta_secs: batch.mean_secs * remaining as f64 / batch.workers.max(1) as f64,
+            });
+        }
+    }
+
     /// Simulate `pending` on the worker pool; returns `(index, outcome)`
-    /// pairs in arbitrary order.
-    fn execute(&self, pending: &[(u64, Job)]) -> Vec<(usize, JobOutcome)> {
+    /// pairs in arbitrary order. `cached` is how many of the batch's
+    /// slots were already served from the cache (reported to the
+    /// progress callback).
+    fn execute(&self, pending: &[(u64, Job)], cached: usize) -> Vec<(usize, JobOutcome)> {
         if pending.is_empty() {
             return Vec::new();
         }
-        let workers = self.jobs.min(pending.len());
+        let workers = self.jobs.min(pending.len()).max(1);
+        let finished = AtomicUsize::new(0);
+        let spent_secs = Mutex::new(0.0f64);
+        let timed = |k: usize| {
+            let (fp, job) = &pending[k];
+            let t0 = std::time::Instant::now();
+            let outcome = compute_cell(job, *fp);
+            let secs = t0.elapsed().as_secs_f64();
+            let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+            let mean = {
+                let mut total = lock_recovering(&spent_secs);
+                *total += secs;
+                *total / done as f64
+            };
+            self.observe_cell(
+                *fp,
+                job,
+                secs,
+                outcome.is_err(),
+                BatchProgress {
+                    done,
+                    total: pending.len(),
+                    cached,
+                    mean_secs: mean,
+                    workers,
+                },
+            );
+            (k, outcome)
+        };
         if workers <= 1 {
-            return pending
-                .iter()
-                .enumerate()
-                .map(|(k, (fp, job))| (k, compute_cell(job, *fp)))
-                .collect();
+            return (0..pending.len()).map(timed).collect();
         }
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(pending.len()));
@@ -719,9 +902,7 @@ impl SweepRunner {
                     if k >= pending.len() {
                         break;
                     }
-                    let (fp, job) = &pending[k];
-                    let outcome = compute_cell(job, *fp);
-                    lock_recovering(&done).push((k, outcome));
+                    lock_recovering(&done).push(timed(k));
                 });
             }
         });
@@ -860,6 +1041,72 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(runner.cache().computed(), 1);
         assert_eq!(runner.cache().hits(), 1);
+    }
+
+    #[test]
+    fn progress_and_telemetry_track_the_batch() {
+        let updates = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let seen = std::sync::Arc::clone(&updates);
+        let runner = SweepRunner::new(2).with_progress(move |u| {
+            lock_recovering(&seen).push(*u);
+        });
+        let jobs = quick_jobs();
+        runner.run_batch(&jobs);
+        {
+            let ups = lock_recovering(&updates);
+            assert_eq!(ups.len(), jobs.len(), "one update per computed cell");
+            assert!(ups.iter().all(|u| u.batch_total == jobs.len()));
+            assert!(ups.iter().all(|u| !u.failed && u.cell_secs >= 0.0));
+            assert!(ups.iter().any(|u| u.batch_done == jobs.len()));
+            let last_done = ups.iter().map(|u| u.batch_done).max().unwrap();
+            assert_eq!(last_done, jobs.len());
+        }
+        let doc = runner.telemetry_json();
+        assert_eq!(doc.get("batches").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("cells_computed").and_then(Json::as_u64),
+            Some(jobs.len() as u64)
+        );
+        assert_eq!(doc.get("failures").and_then(Json::as_u64), Some(0));
+        let wall = doc.get("wall").expect("wall subtree");
+        let cells = wall.get("cells").and_then(Json::as_array).expect("cells");
+        assert_eq!(cells.len(), jobs.len());
+        // Fingerprints are sorted, so the document is deterministic
+        // modulo the wall-clock figures themselves.
+        let fps: Vec<u64> = cells
+            .iter()
+            .map(|c| c.get("fp").and_then(Json::as_u64).expect("fp"))
+            .collect();
+        assert!(fps.windows(2).all(|w| w[0] <= w[1]));
+
+        // A fully cached re-run fires no further updates but counts the
+        // batch.
+        runner.run_batch(&jobs);
+        assert_eq!(lock_recovering(&updates).len(), jobs.len());
+        let doc = runner.telemetry_json();
+        assert_eq!(doc.get("batches").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            doc.get("cache_hits").and_then(Json::as_u64),
+            Some(jobs.len() as u64)
+        );
+    }
+
+    #[test]
+    fn failed_cells_appear_in_progress_updates() {
+        let updates = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let seen = std::sync::Arc::clone(&updates);
+        let runner = SweepRunner::serial().with_progress(move |u| {
+            lock_recovering(&seen).push(*u);
+        });
+        let mut bad = SystemConfig::baseline(IssueRate::GHZ1, 128);
+        bad.quantum = 0;
+        runner.run_batch(&[Job::new(bad, Workload::quick())]);
+        let ups = lock_recovering(&updates);
+        assert_eq!(ups.len(), 1);
+        assert!(ups[0].failed);
+        drop(ups);
+        let doc = runner.telemetry_json();
+        assert_eq!(doc.get("failures").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

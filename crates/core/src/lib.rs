@@ -43,6 +43,7 @@ mod time;
 
 pub mod error;
 pub mod experiments;
+pub mod obs;
 pub mod system;
 
 pub use channel::{ChannelSet, DramChannel};
@@ -53,6 +54,7 @@ pub use config::{
 pub use engine::{Engine, ProcessSummary, RunOutcome};
 pub use error::{CacheIoError, ConfigError, InvariantError, RampageError};
 pub use metrics::{Counters, LevelFractions, Metrics, TimeBreakdown};
+pub use obs::{Event, EventKind, EventRing, Hist, LatencyHistograms, TraceSink};
 pub use report::{fmt_pct, fmt_secs, TableBuilder};
 pub use time::IssueRate;
 

@@ -1,5 +1,6 @@
 //! Simulated-time accounting and event counters.
 
+use crate::obs::LatencyHistograms;
 use crate::time::IssueRate;
 use rampage_cache::{CacheStats, MissProfile};
 use rampage_vm::TlbStats;
@@ -142,6 +143,10 @@ pub struct Metrics {
     pub time: TimeBreakdown,
     /// Event counters.
     pub counts: Counters,
+    /// Latency distributions (DRAM service, fault service, TLB walks).
+    /// Pure observers: recording never feeds back into `time` or
+    /// `counts`, so they cannot perturb the reproduced numbers.
+    pub hist: LatencyHistograms,
 }
 
 impl Metrics {
@@ -250,6 +255,7 @@ mod tests {
                 user_refs: 100,
                 ..Default::default()
             },
+            ..Default::default()
         };
         assert!((m.cycles_per_ref() - 1.5).abs() < 1e-12);
     }

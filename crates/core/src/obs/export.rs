@@ -1,0 +1,104 @@
+//! Trace exports: JSONL and Chrome `trace_event` JSON.
+
+use crate::obs::event::{Event, ASID_NONE};
+use rampage_json::{obj, Json, ToJson};
+
+/// Render events as JSONL: one compact JSON object per line, oldest
+/// first, with the schema documented in EXPERIMENTS.md § Observability
+/// (`at_ps`, `dur_ps`, `kind`, `asid`, `arg`).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut s = String::new();
+    for e in events {
+        s.push_str(&e.to_json().compact());
+        s.push('\n');
+    }
+    s
+}
+
+/// Render events as a Chrome `trace_event` document (the JSON Object
+/// Format): complete (`"ph": "X"`) events with microsecond timestamps,
+/// one track (`tid`) per ASID, plus the metadata pairs the caller
+/// supplies (run label, DRAM model, drop count, …). Open the written
+/// file in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(events: &[Event], metadata: Vec<(String, Json)>) -> Json {
+    let trace_events: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            obj! {
+                "name" => e.kind.name(),
+                "cat" => "sim",
+                "ph" => "X",
+                // trace_event timestamps are microseconds; picos divide
+                // exactly into an f64 for any plausible run length.
+                "ts" => e.at.0 as f64 / 1e6,
+                "dur" => e.dur.0 as f64 / 1e6,
+                "pid" => 0u64,
+                "tid" => if e.asid == ASID_NONE { u16::MAX as u64 } else { e.asid as u64 },
+                "args" => obj! { "arg" => e.arg },
+            }
+        })
+        .collect();
+    obj! {
+        "traceEvents" => trace_events,
+        "displayTimeUnit" => "ns",
+        "metadata" => Json::Obj(metadata),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::event::EventKind;
+    use rampage_dram::Picos;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event {
+                at: Picos(1_000_000),
+                dur: Picos(2_000_000),
+                kind: EventKind::DramTransfer,
+                asid: ASID_NONE,
+                arg: 4096,
+            },
+            Event {
+                at: Picos(5_000_000),
+                dur: Picos::ZERO,
+                kind: EventKind::ContextSwitch,
+                asid: 2,
+                arg: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let text = to_jsonl(&events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let j = Json::parse(line).expect("each line is a JSON object");
+            assert!(j.get("kind").is_some());
+        }
+        assert!(to_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn chrome_document_shape() {
+        let doc = chrome_trace(&events(), vec![("label".into(), "test".to_json())]);
+        let evs = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(evs[0].get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(evs[0].get("dur").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(evs[1].get("tid").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            doc.get("metadata")
+                .unwrap()
+                .get("label")
+                .and_then(Json::as_str),
+            Some("test")
+        );
+        // The whole document survives a text round trip.
+        assert!(Json::parse(&doc.pretty()).is_ok());
+    }
+}

@@ -1,0 +1,261 @@
+//! Log2-bucketed latency histograms.
+//!
+//! Histograms are plain counters over already-computed cycle counts, so
+//! they are always on: recording can never change a simulated quantity,
+//! only observe it (the observability test suite proves the stronger
+//! claim for the whole layer).
+
+use rampage_json::{obj, Json, ToJson};
+use std::fmt::Write as _;
+
+/// Bucket count: one per possible bit length of a `u64` sample (0..=64).
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (simulated cycles).
+///
+/// Bucket `b` holds samples of bit length `b`: bucket 0 holds only zero,
+/// bucket `b ≥ 1` holds the range `[2^(b-1), 2^b - 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a sample: its bit length.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b`.
+fn upper_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total as f64 / self.count as f64
+    }
+
+    /// Sum of the per-bucket counts — equals [`count`](Self::count) by
+    /// construction (the property suite asserts this).
+    pub fn bucket_sum(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` ranges, in order.
+    pub fn ranges(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let lo = if b == 0 { 0 } else { upper_bound(b - 1) + 1 };
+                (lo, upper_bound(b), c)
+            })
+            .collect()
+    }
+
+    /// Multi-line rendering: a summary line, then one bar per non-empty
+    /// bucket (scaled to the fullest bucket).
+    pub fn render(&self, label: &str) -> String {
+        let mut s = format!(
+            "{label}: {} sample(s), mean {:.1}, p50 ≤{}, p99 ≤{}, max {}\n",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max,
+        );
+        if self.count == 0 {
+            return s;
+        }
+        let ranges = self.ranges();
+        let peak = ranges.iter().map(|&(_, _, c)| c).max().unwrap_or(1);
+        let width = ranges
+            .iter()
+            .map(|&(lo, hi, _)| format!("{lo}..{hi}").len())
+            .max()
+            .unwrap_or(0);
+        for (lo, hi, c) in ranges {
+            let bar = "#".repeat(((c * 40).div_ceil(peak)) as usize);
+            let range = format!("{lo}..{hi}");
+            let _ = writeln!(s, "  {range:>width$}  {c:>10}  {bar}");
+        }
+        s
+    }
+}
+
+impl ToJson for Hist {
+    fn to_json(&self) -> Json {
+        obj! {
+            "count" => self.count,
+            "total" => self.total,
+            "max" => self.max,
+            "buckets" => self
+                .ranges()
+                .into_iter()
+                .map(|(lo, hi, c)| obj! { "lo" => lo, "hi" => hi, "count" => c })
+                .collect::<Vec<Json>>(),
+        }
+    }
+}
+
+/// The three latency distributions the per-run report prints, folded
+/// into [`crate::Metrics`]. All samples are simulated CPU cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistograms {
+    /// DRAM channel service time per transfer (request to completion,
+    /// including queueing behind a busy channel).
+    pub dram: Hist,
+    /// Page-fault service time (soft faults included), from handler entry
+    /// to page availability.
+    pub fault: Hist,
+    /// TLB-miss cost: the refill handler's walk of the page table.
+    pub tlb: Hist,
+}
+
+impl ToJson for LatencyHistograms {
+    fn to_json(&self) -> Json {
+        obj! {
+            "dram_service_cycles" => self.dram,
+            "fault_service_cycles" => self.fault,
+            "tlb_walk_cycles" => self.tlb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(upper_bound(0), 0);
+        assert_eq!(upper_bound(2), 3);
+        assert_eq!(upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_count_total_max() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total(), 1011);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket_sum(), h.count());
+        assert!((h.mean() - 202.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Hist::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4: 8..15
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.99), 15);
+        assert_eq!(h.quantile(1.0), 1_000_000, "capped at the observed max");
+        assert_eq!(Hist::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn ranges_and_render() {
+        let mut h = Hist::new();
+        h.record(0);
+        h.record(9);
+        h.record(12);
+        let r = h.ranges();
+        assert_eq!(r, vec![(0, 0, 1), (8, 15, 2)]);
+        let text = h.render("dram");
+        assert!(text.starts_with("dram: 3 sample(s)"));
+        assert!(text.contains("8..15"));
+        assert!(Hist::new().render("empty").contains("0 sample(s)"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Hist::new();
+        h.record(3);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(1));
+        let buckets = j.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("hi").and_then(Json::as_u64), Some(3));
+    }
+}

@@ -3,6 +3,7 @@
 use crate::channel::ChannelSet;
 use crate::config::{HierarchyKind, SystemConfig, DRAM_PAGE_SIZE, L1_MISS_PENALTY};
 use crate::metrics::Metrics;
+use crate::obs::{Event, EventKind, TraceSink, ASID_NONE};
 use crate::system::{AccessOutcome, MemorySystem};
 use rampage_cache::{Cache, PhysAddr, ReplacementPolicy, ShadowTracker, VictimCache, WriteBuffer};
 use rampage_dram::Picos;
@@ -48,6 +49,8 @@ pub struct Conventional {
     wbuf: WriteBuffer,
     /// Optional 3C classification of L2 misses.
     classifier: Option<ShadowTracker>,
+    /// Event-trace sink shared with the engine (disabled by default).
+    trace: TraceSink,
 }
 
 impl Conventional {
@@ -93,6 +96,7 @@ impl Conventional {
             classifier: cfg
                 .classify_l2
                 .then(|| ShadowTracker::new(l2cfg.geometry().blocks() as usize, l2cfg.block)),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -156,6 +160,17 @@ impl Conventional {
                 let wb_stall = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
                 m.time.dram_cycles += wb_stall;
                 m.counts.dram_writebacks += 1;
+                m.hist
+                    .dram
+                    .record(tr.done.saturating_sub(at).cycles_ceil(self.cycle));
+                let block = self.l2_block;
+                self.trace.emit(|| Event {
+                    at: tr.start,
+                    dur: tr.done.saturating_sub(tr.start),
+                    kind: EventKind::DramTransfer,
+                    asid: ASID_NONE,
+                    arg: block,
+                });
                 stall += wb_stall;
             }
         }
@@ -167,7 +182,27 @@ impl Conventional {
         let fetch_stall = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
         m.time.dram_cycles += fetch_stall;
         m.counts.dram_block_fetches += 1;
-        stall + fetch_stall
+        m.hist
+            .dram
+            .record(tr.done.saturating_sub(at).cycles_ceil(self.cycle));
+        let block = self.l2_block;
+        self.trace.emit(|| Event {
+            at: tr.start,
+            dur: tr.done.saturating_sub(tr.start),
+            kind: EventKind::DramTransfer,
+            asid: ASID_NONE,
+            arg: block,
+        });
+        let total = stall + fetch_stall;
+        let cycle = self.cycle;
+        self.trace.emit(|| Event {
+            at: now,
+            dur: Picos(total * cycle.0),
+            kind: EventKind::L2Miss,
+            asid: ASID_NONE,
+            arg: pa.0,
+        });
+        total
     }
 
     /// One physical reference through L1 → L2 → DRAM. Returns stall
@@ -210,6 +245,17 @@ impl Conventional {
                 if let Some(ev) = res.eviction {
                     stall += self.stash_victim(ev, m);
                 }
+                let cycle = self.cycle;
+                self.trace.emit(|| Event {
+                    at: now,
+                    dur: Picos(stall * cycle.0),
+                    kind: match kind {
+                        AccessKind::InstrFetch => EventKind::L1iMiss,
+                        _ => EventKind::L1dMiss,
+                    },
+                    asid: ASID_NONE,
+                    arg: pa.0,
+                });
                 return stall;
             }
         }
@@ -230,6 +276,17 @@ impl Conventional {
             }
         }
         stall += self.l2_service(pa, now, m);
+        let cycle = self.cycle;
+        self.trace.emit(|| Event {
+            at: now,
+            dur: Picos(stall * cycle.0),
+            kind: match kind {
+                AccessKind::InstrFetch => EventKind::L1iMiss,
+                _ => EventKind::L1dMiss,
+            },
+            asid: ASID_NONE,
+            arg: pa.0,
+        });
         // Stall cycles are drain opportunities for the write buffer.
         self.wbuf.drain((stall / L1_MISS_PENALTY) as usize);
         stall
@@ -315,6 +372,16 @@ impl Conventional {
         self.os.tlb_refill(&lk.probe_addrs, &mut self.handler_buf);
         let stall = self.run_handler(HandlerKind::TlbRefill, now, m);
         self.tlb.insert(asid, vpn, frame);
+        m.hist.tlb.record(stall);
+        let cycle = self.cycle;
+        let probes = lk.probes() as u64;
+        self.trace.emit(|| Event {
+            at: now,
+            dur: Picos(stall * cycle.0),
+            kind: EventKind::TlbMiss,
+            asid: asid.0,
+            arg: probes,
+        });
         (PhysAddr(frame.base_addr(page).0 + page.offset(va)), stall)
     }
 }
@@ -357,6 +424,10 @@ impl MemorySystem for Conventional {
             self.l2.geometry().ways(),
             self.l2_block
         )
+    }
+
+    fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 

@@ -18,6 +18,7 @@ pub use rampage::Rampage;
 
 use crate::config::SystemConfig;
 use crate::metrics::Metrics;
+use crate::obs::TraceSink;
 use rampage_dram::Picos;
 use rampage_trace::{Asid, TraceRecord};
 
@@ -57,6 +58,14 @@ pub trait MemorySystem {
 
     /// A short description for reports.
     fn label(&self) -> String;
+
+    /// Share the engine's event-trace sink so the system's misses,
+    /// faults, and DRAM transfers land in the same ring. The default
+    /// implementation ignores the sink (no events from such a system);
+    /// both built-in systems override it.
+    fn attach_trace(&mut self, sink: TraceSink) {
+        let _ = sink;
+    }
 }
 
 /// Build the memory system a configuration describes.

@@ -4,6 +4,7 @@
 use crate::channel::ChannelSet;
 use crate::config::{HierarchyKind, SystemConfig, L1_MISS_PENALTY, RAMPAGE_WRITEBACK_PENALTY};
 use crate::metrics::Metrics;
+use crate::obs::{Event, EventKind, TraceSink, ASID_NONE};
 use crate::system::{AccessOutcome, MemorySystem};
 use rampage_cache::{Cache, PhysAddr, ReplacementPolicy, WriteBuffer};
 use rampage_dram::Picos;
@@ -53,6 +54,8 @@ pub struct Rampage {
     prefetch_next: bool,
     /// Prefetched pages not yet referenced, for usefulness accounting.
     prefetched: std::collections::HashSet<(Asid, Vpn)>,
+    /// Event-trace sink shared with the engine (disabled by default).
+    trace: TraceSink,
 }
 
 impl Rampage {
@@ -121,6 +124,7 @@ impl Rampage {
                 .unwrap_or_default(),
             prefetch_next: rcfg.prefetch_next,
             prefetched: std::collections::HashSet::new(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -135,9 +139,10 @@ impl Rampage {
     }
 
     /// One physical reference through L1 → SRAM main memory. Never goes
-    /// to DRAM (presence was established by translation). Returns stall
-    /// cycles.
-    fn access_phys(&mut self, pa: PhysAddr, kind: AccessKind, m: &mut Metrics) -> u64 {
+    /// to DRAM (presence was established by translation). `at` is the
+    /// absolute time the reference issues (event timestamps only — the
+    /// SRAM service itself is time-independent). Returns stall cycles.
+    fn access_phys(&mut self, pa: PhysAddr, kind: AccessKind, at: Picos, m: &mut Metrics) -> u64 {
         let l1 = match kind {
             AccessKind::InstrFetch => &mut self.l1i,
             _ => &mut self.l1d,
@@ -171,6 +176,17 @@ impl Rampage {
                 }
             }
         }
+        let cycle = self.cycle;
+        self.trace.emit(|| Event {
+            at,
+            dur: Picos(stall * cycle.0),
+            kind: match kind {
+                AccessKind::InstrFetch => EventKind::L1iMiss,
+                _ => EventKind::L1dMiss,
+            },
+            asid: ASID_NONE,
+            arg: pa.0,
+        });
         // Stall cycles are drain opportunities for the write buffer.
         self.wbuf
             .drain((stall / RAMPAGE_WRITEBACK_PENALTY) as usize);
@@ -178,8 +194,9 @@ impl Rampage {
     }
 
     /// Run buffered handler references (all SRAM-resident by
-    /// construction: handler code and tables are pinned).
-    fn run_handler(&mut self, kind: HandlerKind, m: &mut Metrics) -> u64 {
+    /// construction: handler code and tables are pinned). `now` is the
+    /// handler's entry time (event timestamps only).
+    fn run_handler(&mut self, kind: HandlerKind, now: Picos, m: &mut Metrics) -> u64 {
         let refs = std::mem::take(&mut self.handler_buf);
         let mut stall = 0u64;
         for r in &refs {
@@ -187,7 +204,8 @@ impl Rampage {
                 stall += 1;
                 m.time.l1i_cycles += 1;
             }
-            stall += self.access_phys(r.addr, r.kind, m);
+            let at = now + Picos(stall * self.cycle.0);
+            stall += self.access_phys(r.addr, r.kind, at, m);
         }
         match kind {
             HandlerKind::TlbRefill => m.counts.tlb_handler_refs += refs.len() as u64,
@@ -251,6 +269,17 @@ impl Rampage {
                     let wb = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
                     m.time.dram_cycles += wb;
                     m.counts.dram_writebacks += 1;
+                    m.hist
+                        .dram
+                        .record(tr.done.saturating_sub(at).cycles_ceil(self.cycle));
+                    let page_bytes = self.page.get();
+                    self.trace.emit(|| Event {
+                        at: tr.start,
+                        dur: tr.done.saturating_sub(tr.start),
+                        kind: EventKind::DramTransfer,
+                        asid: ASID_NONE,
+                        arg: page_bytes,
+                    });
                     stall += wb;
                 }
                 self.ipt.release(discarded.frame);
@@ -265,6 +294,17 @@ impl Rampage {
                 let wb = tr.done.saturating_sub(now).cycles_ceil(self.cycle) - stall;
                 m.time.dram_cycles += wb;
                 m.counts.dram_writebacks += 1;
+                m.hist
+                    .dram
+                    .record(tr.done.saturating_sub(at).cycles_ceil(self.cycle));
+                let page_bytes = self.page.get();
+                self.trace.emit(|| Event {
+                    at: tr.start,
+                    dur: tr.done.saturating_sub(tr.start),
+                    kind: EventKind::DramTransfer,
+                    asid: ASID_NONE,
+                    arg: page_bytes,
+                });
                 stall += wb;
             }
         }
@@ -287,6 +327,13 @@ impl Rampage {
         let scan_addrs: Vec<PhysAddr> = (0..scanned)
             .map(|i| self.ipt.entry_addr(FrameId((hand0 + i) % n)))
             .collect();
+        self.trace.emit(|| Event {
+            at: now,
+            dur: Picos::ZERO,
+            kind: EventKind::ClockSweep,
+            asid: ASID_NONE,
+            arg: scanned as u64,
+        });
         *stall += self.evict_page(victim, now, m);
         (victim, scan_addrs)
     }
@@ -350,8 +397,17 @@ impl Rampage {
                 let update = self.ipt.entry_addr(e.frame);
                 self.os
                     .page_fault(probe_addrs, &[], &[update], &mut self.handler_buf);
-                stall += self.run_handler(HandlerKind::Fault, m);
+                stall += self.run_handler(HandlerKind::Fault, now, m);
                 self.tlb.insert(asid, vpn, e.frame);
+                m.hist.fault.record(stall);
+                let cycle = self.cycle;
+                self.trace.emit(|| Event {
+                    at: now,
+                    dur: Picos(stall * cycle.0),
+                    kind: EventKind::SoftFault,
+                    asid: asid.0,
+                    arg: vpn.0,
+                });
                 return (e.frame, stall, None);
             }
         }
@@ -364,7 +420,7 @@ impl Rampage {
         let updates = [self.ipt.entry_addr(frame)];
         self.os
             .page_fault(probe_addrs, &scan_addrs, &updates, &mut self.handler_buf);
-        stall += self.run_handler(HandlerKind::Fault, m);
+        stall += self.run_handler(HandlerKind::Fault, now, m);
 
         // Optional §3.2 extension: also bring in the next virtual page.
         // The prefetch frame is acquired *before* the demand mapping is
@@ -393,12 +449,43 @@ impl Rampage {
         m.counts.page_faults += 1;
         self.ipt.insert(frame, asid, vpn);
         self.tlb.insert(asid, vpn, frame);
+        m.hist
+            .dram
+            .record(tr.done.saturating_sub(at).cycles_ceil(self.cycle));
+        m.hist
+            .fault
+            .record(tr.done.saturating_sub(now).cycles_ceil(self.cycle));
+        let page_bytes = self.page.get();
+        self.trace.emit(|| Event {
+            at: tr.start,
+            dur: tr.done.saturating_sub(tr.start),
+            kind: EventKind::DramTransfer,
+            asid: ASID_NONE,
+            arg: page_bytes,
+        });
+        self.trace.emit(|| Event {
+            at: now,
+            dur: tr.done.saturating_sub(now),
+            kind: EventKind::PageFault,
+            asid: asid.0,
+            arg: vpn.0,
+        });
 
         if let Some(pf) = prefetch_frame {
-            self.channel.request(tr.done, self.page.get(), pf.0 as u64);
+            let ptr = self.channel.request(tr.done, self.page.get(), pf.0 as u64);
             self.ipt.insert(pf, asid, next);
             self.prefetched.insert((asid, next));
             m.counts.prefetches += 1;
+            m.hist
+                .dram
+                .record(ptr.done.saturating_sub(tr.done).cycles_ceil(self.cycle));
+            self.trace.emit(|| Event {
+                at: ptr.start,
+                dur: ptr.done.saturating_sub(ptr.start),
+                kind: EventKind::DramTransfer,
+                asid: ASID_NONE,
+                arg: page_bytes,
+            });
         }
 
         if self.switch_on_miss {
@@ -431,7 +518,18 @@ impl MemorySystem for Rampage {
                 // TLB refill entirely within SRAM (§2.3).
                 let lk = self.ipt.lookup(asid, vpn);
                 self.os.tlb_refill(&lk.probe_addrs, &mut self.handler_buf);
-                stall += self.run_handler(HandlerKind::TlbRefill, m);
+                let refill = self.run_handler(HandlerKind::TlbRefill, now, m);
+                stall += refill;
+                m.hist.tlb.record(refill);
+                let cycle = self.cycle;
+                let probes = lk.probes() as u64;
+                self.trace.emit(|| Event {
+                    at: now,
+                    dur: Picos(refill * cycle.0),
+                    kind: EventKind::TlbMiss,
+                    asid: asid.0,
+                    arg: probes,
+                });
                 match lk.frame {
                     Some(f) => {
                         if self.prefetched.remove(&(asid, vpn)) {
@@ -452,18 +550,19 @@ impl MemorySystem for Rampage {
             }
         };
         let pa = PhysAddr(frame.base_addr(self.page).0 + self.page.offset(rec.addr));
-        stall += self.access_phys(pa, rec.kind, m);
+        let at = now + Picos(stall * self.cycle.0);
+        stall += self.access_phys(pa, rec.kind, at, m);
         AccessOutcome {
             stall_cycles: stall,
             blocked_until,
         }
     }
 
-    fn run_switch(&mut self, from: usize, to: usize, _now: Picos, m: &mut Metrics) -> u64 {
+    fn run_switch(&mut self, from: usize, to: usize, now: Picos, m: &mut Metrics) -> u64 {
         // Switch code and PCBs are pinned in SRAM (§4.6), so the whole
         // sequence is SRAM-resident.
         self.os.context_switch(from, to, &mut self.handler_buf);
-        self.run_handler(HandlerKind::Switch, m)
+        self.run_handler(HandlerKind::Switch, now, m)
     }
 
     fn finalize(&mut self, m: &mut Metrics) {
@@ -482,6 +581,10 @@ impl MemorySystem for Rampage {
             self.ipt.num_frames(),
             self.pinned_frames
         )
+    }
+
+    fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 

@@ -43,6 +43,17 @@ impl DramModel {
             DramModel::Sdram(s) => s.transfer_time(bytes),
         }
     }
+
+    /// One-line description of the device for trace metadata and logs:
+    /// name, initial latency, peak bandwidth.
+    pub fn diagnostics(&self) -> String {
+        format!(
+            "{} ({} ns initial latency, {:.1} GB/s peak)",
+            self.name(),
+            self.initial_latency().0 / 1000,
+            self.peak_bandwidth() / 1e9,
+        )
+    }
 }
 
 impl MemoryDevice for DramModel {
@@ -91,6 +102,14 @@ mod tests {
         assert!(p.queued_transfer_time(128) < p.transfer_time(128));
         // SDRAM has no reference pipelining (§3.3's contrast).
         assert_eq!(s.queued_transfer_time(128), s.transfer_time(128));
+    }
+
+    #[test]
+    fn diagnostics_describe_the_device() {
+        let d = DramModel::rambus().diagnostics();
+        assert!(d.contains("Direct Rambus"), "{d}");
+        assert!(d.contains("50 ns"), "{d}");
+        assert!(d.contains("GB/s"), "{d}");
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub struct IptLookup {
     pub probe_addrs: Vec<PhysAddr>,
 }
 
+impl IptLookup {
+    /// How many table reads the walk performed (the HAT slot plus one
+    /// per chain step) — the cost figure observability events carry.
+    pub fn probes(&self) -> usize {
+        self.probe_addrs.len()
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Slot {
     mapping: Option<Mapping>,
@@ -387,6 +395,7 @@ mod tests {
         assert_eq!(r.frame, Some(f));
         // One HAT probe + one entry probe.
         assert_eq!(r.probe_addrs.len(), 2);
+        assert_eq!(r.probes(), r.probe_addrs.len());
         assert!(r.probe_addrs[0].0 >= 0x1000);
         // A missing page probes at least the HAT slot.
         let miss = t.lookup(Asid(9), Vpn(9));

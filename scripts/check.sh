@@ -16,12 +16,20 @@ cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 # Library code must not unwrap/expect: every fallible path either
 # returns a typed error or panics via a documented invariant assert.
-# Tests and benches are exempt (unwrap is the right tool there).
+# It must not print either: all human-facing output goes through the
+# binaries or rendered reports, never stray println!/eprintln! in a
+# library (criterion is the one exemption — printing results is its
+# job). Tests and benches are exempt (unwrap is the right tool there).
 LIB_CRATES=(rampage-json rand criterion rampage-trace rampage-cache rampage-dram rampage-vm rampage-core)
 for crate in "${LIB_CRATES[@]}"; do
-  echo "==> cargo clippy --lib -p ${crate} (deny unwrap/expect)"
+  PRINT_DENIES=(-D clippy::print_stdout -D clippy::print_stderr)
+  if [[ "${crate}" == "criterion" ]]; then
+    PRINT_DENIES=()
+  fi
+  echo "==> cargo clippy --lib -p ${crate} (deny unwrap/expect/print)"
   cargo clippy -q --lib -p "${crate}" -- \
-    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used \
+    "${PRINT_DENIES[@]+"${PRINT_DENIES[@]}"}"
 done
 
 echo "==> cargo build --release (tier-1)"
@@ -32,6 +40,9 @@ cargo test -q
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo test -q --test observability --test snapshot_golden (observability gate)"
+cargo test -q --test observability --test snapshot_golden
 
 echo "==> cargo test -q --features fault (fault-injection suite)"
 cargo test -q --features fault

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale N] [--nbench N] [--jobs N] [--out DIR]
-//!       [--max-cell-failures N] <artifact>...
+//!       [--max-cell-failures N] [--trace-events PATH] [--trace-cap N]
+//!       <artifact>...
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
 //!            ablations perbench diag all
@@ -13,7 +14,16 @@
 //! pool width (default: all cores; 1 = serial). Results are printed as
 //! text tables and, with `--out`, also dumped as JSON for
 //! EXPERIMENTS.md; `--out` additionally persists the cell cache
-//! (`cells.json`) so overlapping sweeps across invocations are reused.
+//! (`cells.json`) so overlapping sweeps across invocations are reused,
+//! plus sweep telemetry (`metrics.json`: worker counts, per-cell wall
+//! time, cache hit statistics).
+//!
+//! `--trace-events PATH` runs one traced RAMpage simulation (the 4 KB
+//! switching configuration at 1 GHz) and writes its event stream as
+//! JSONL to PATH and as a Chrome `trace_event` document to
+//! `PATH.chrome.json` (load via chrome://tracing or Perfetto).
+//! `--trace-cap N` bounds the in-memory event ring (default 262144;
+//! the oldest events are dropped past the cap).
 //!
 //! Failed cells (invalid configs, simulation panics) do not abort the
 //! run: their table slots hold inert zero cells, a failure report is
@@ -39,6 +49,8 @@ struct Options {
     jobs: usize,
     out_dir: Option<String>,
     max_cell_failures: usize,
+    trace_events: Option<String>,
+    trace_cap: usize,
     artifacts: Vec<String>,
 }
 
@@ -49,6 +61,8 @@ fn parse_args() -> Result<Options, String> {
         jobs: 0, // 0 = all available cores
         out_dir: None,
         max_cell_failures: 0,
+        trace_events: None,
+        trace_cap: 1 << 18,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -79,6 +93,16 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad max-cell-failures: {v}"))?;
             }
+            "--trace-events" => {
+                opts.trace_events = Some(args.next().ok_or("--trace-events needs a path")?);
+            }
+            "--trace-cap" => {
+                let v = args.next().ok_or("--trace-cap needs a value")?;
+                opts.trace_cap = v.parse().map_err(|_| format!("bad trace-cap: {v}"))?;
+                if opts.trace_cap == 0 {
+                    return Err("trace-cap must be positive".into());
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -89,14 +113,14 @@ fn parse_args() -> Result<Options, String> {
             other => opts.artifacts.push(other.to_string()),
         }
     }
-    if opts.artifacts.is_empty() {
+    if opts.artifacts.is_empty() && opts.trace_events.is_none() {
         return Err(USAGE.into());
     }
     Ok(opts)
 }
 
 const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--jobs N] [--out DIR] \
-[--max-cell-failures N] \
+[--max-cell-failures N] [--trace-events PATH] [--trace-cap N] \
 <table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...";
 
 fn main() {
@@ -113,7 +137,21 @@ fn main() {
         seed: 0x7a9e,
         solo: None,
     };
-    let runner = SweepRunner::new(opts.jobs);
+    // Heartbeat: one stderr line per simulated cell, so long sweeps are
+    // visibly alive and carry a rough completion estimate.
+    let runner = SweepRunner::new(opts.jobs).with_progress(|p| {
+        eprintln!(
+            "# cell {}/{} ({} cached): {} B @ {} MHz in {:.1}s{}, ~{:.0}s left",
+            p.batch_done,
+            p.batch_total,
+            p.batch_cached,
+            p.unit_bytes,
+            p.issue_mhz,
+            p.cell_secs,
+            if p.failed { " [FAILED]" } else { "" },
+            p.eta_secs
+        );
+    });
     eprintln!(
         "# workload: {} benchmarks, scale 1/{}, {} total refs; {} worker(s)",
         workload.nbench,
@@ -300,6 +338,45 @@ fn main() {
     // Persistence failures must not discard the rendered results above:
     // warn and carry the failure into the exit code instead of dying.
     let mut persist_failed = false;
+    if let Some(path) = &opts.trace_events {
+        use rampage_core::experiments::run_config_traced;
+        use rampage_core::obs::{chrome_trace, to_jsonl};
+        use rampage_core::SystemConfig;
+        let cfg = SystemConfig::rampage_switching(IssueRate::GHZ1, 4096);
+        let t0 = Instant::now();
+        let (_, out) = run_config_traced(&cfg, &workload, opts.trace_cap);
+        eprintln!(
+            "# traced {} in {:.1}s: {} event(s), {} dropped",
+            cfg.label(),
+            t0.elapsed().as_secs_f64(),
+            out.events.len(),
+            out.events_dropped
+        );
+        println!("{}", out.report());
+        let metadata = vec![
+            ("config".to_string(), cfg.label().to_json()),
+            ("dram".to_string(), cfg.dram.model().diagnostics().to_json()),
+            ("trace_cap".to_string(), (opts.trace_cap as u64).to_json()),
+            ("events_dropped".to_string(), out.events_dropped.to_json()),
+        ];
+        let chrome_path = format!("{path}.chrome.json");
+        let parent = Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty());
+        let write = parent
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(path, to_jsonl(&out.events)))
+            .and_then(|()| {
+                std::fs::write(&chrome_path, chrome_trace(&out.events, metadata).pretty())
+            });
+        match write {
+            Ok(()) => eprintln!("# wrote {path} and {chrome_path}"),
+            Err(e) => {
+                eprintln!("# WARNING: could not write event trace: {e}");
+                persist_failed = true;
+            }
+        }
+    }
     if let Some(dir) = &opts.out_dir {
         let results: Vec<(String, Json)> = json.into_iter().collect();
         let doc = obj! {
@@ -329,6 +406,16 @@ fn main() {
                     eprintln!("# WARNING: could not write {}: {e}", cpath.display());
                     persist_failed = true;
                 }
+            }
+        }
+        let mpath = format!("{dir}/metrics.json");
+        match std::fs::File::create(&mpath)
+            .and_then(|mut f| writeln!(f, "{}", runner.telemetry_json().pretty()))
+        {
+            Ok(()) => eprintln!("# wrote {mpath}"),
+            Err(e) => {
+                eprintln!("# WARNING: could not write {mpath}: {e}");
+                persist_failed = true;
             }
         }
     }

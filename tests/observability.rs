@@ -1,0 +1,226 @@
+//! The observability layer's contract: tracing and histograms must be
+//! pure observers. The headline tests prove the simulation is
+//! bit-identical with tracing enabled vs disabled on every hierarchy
+//! preset, that the bounded event ring never perturbs what it observes,
+//! and that both export formats (JSONL and Chrome `trace_event`) are
+//! well-formed.
+
+use rampage_core::experiments::{run_config, run_config_traced, Workload};
+use rampage_core::obs::{chrome_trace, to_jsonl, EventKind};
+use rampage_core::{Engine, IssueRate, SystemConfig};
+use rampage_json::{Json, ToJson};
+
+/// Every hierarchy preset the simulator models, at the quick workload.
+fn presets() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        ("baseline", SystemConfig::baseline(IssueRate::GHZ1, 512)),
+        ("two_way", SystemConfig::two_way(IssueRate::GHZ1, 512)),
+        ("rampage", SystemConfig::rampage(IssueRate::GHZ1, 4096)),
+        (
+            "rampage_switching",
+            SystemConfig::rampage_switching(IssueRate::GHZ1, 4096),
+        ),
+    ]
+}
+
+/// The headline guarantee: enabling tracing changes NOTHING about the
+/// simulation — not the time breakdown, not a single counter, not the
+/// derived cell — on any hierarchy preset.
+#[test]
+fn tracing_is_bit_identical_to_untraced_on_every_preset() {
+    let w = Workload::quick();
+    for (name, cfg) in presets() {
+        let plain = run_config(&cfg, &w);
+        let (traced_cell, out) = run_config_traced(&cfg, &w, 1 << 20);
+        assert_eq!(
+            plain, traced_cell,
+            "{name}: tracing perturbed the derived cell"
+        );
+        // Cross-check against a second untraced engine run at the
+        // metrics level: TimeBreakdown and Counters bit-identical.
+        let untraced = Engine::new(&cfg, w.sources()).run();
+        assert_eq!(
+            untraced.metrics.time, out.metrics.time,
+            "{name}: tracing perturbed the time breakdown"
+        );
+        assert_eq!(
+            untraced.metrics.counts, out.metrics.counts,
+            "{name}: tracing perturbed the counters"
+        );
+        assert_eq!(untraced.elapsed, out.elapsed, "{name}: elapsed differs");
+        assert!(
+            untraced.events.is_empty(),
+            "{name}: untraced run has events"
+        );
+        assert!(!out.events.is_empty(), "{name}: traced run saw no events");
+        assert_eq!(out.events_dropped, 0, "{name}: large ring dropped events");
+    }
+}
+
+/// The bounded ring drops oldest-first and never loses count: a tiny
+/// ring sees the same total number of events as an unbounded one.
+#[test]
+fn bounded_ring_keeps_the_newest_events_and_the_full_count() {
+    let w = Workload::quick();
+    let cfg = SystemConfig::rampage_switching(IssueRate::GHZ1, 4096);
+    let (_, full) = run_config_traced(&cfg, &w, 1 << 20);
+    assert_eq!(full.events_dropped, 0);
+    let total = full.events.len() as u64;
+    assert!(total > 64, "workload too small to exercise the ring");
+
+    let cap = 64usize;
+    let (small_cell, small) = run_config_traced(&cfg, &w, cap);
+    assert!(small.events.len() <= cap, "ring exceeded its capacity");
+    assert_eq!(
+        small.events.len() as u64 + small.events_dropped,
+        total,
+        "events were lost, not just evicted"
+    );
+    // The survivors are exactly the newest events, in order.
+    assert_eq!(
+        small.events,
+        full.events[full.events.len() - small.events.len()..],
+        "ring did not keep the newest suffix"
+    );
+    // And the tiny ring still didn't perturb the simulation.
+    assert_eq!(small_cell, run_config(&cfg, &w));
+}
+
+/// The traced RAMpage run produces every event family the hierarchy
+/// can emit, and the conventional hierarchy produces its own set.
+#[test]
+fn expected_event_kinds_appear() {
+    let w = Workload::quick();
+    let has = |events: &[rampage_core::Event], k: EventKind| events.iter().any(|e| e.kind == k);
+
+    let (_, rp) = run_config_traced(
+        &SystemConfig::rampage_switching(IssueRate::GHZ1, 4096),
+        &w,
+        1 << 20,
+    );
+    for kind in [
+        EventKind::L1iMiss,
+        EventKind::TlbMiss,
+        EventKind::PageFault,
+        EventKind::DramTransfer,
+        EventKind::ContextSwitch,
+    ] {
+        assert!(has(&rp.events, kind), "rampage trace lacks {kind:?}");
+    }
+
+    let (_, dm) = run_config_traced(&SystemConfig::baseline(IssueRate::GHZ1, 512), &w, 1 << 20);
+    for kind in [
+        EventKind::L1iMiss,
+        EventKind::L2Miss,
+        EventKind::DramTransfer,
+    ] {
+        assert!(has(&dm.events, kind), "conventional trace lacks {kind:?}");
+    }
+    assert!(
+        !has(&dm.events, EventKind::PageFault),
+        "conventional hierarchy must not page-fault"
+    );
+}
+
+/// Every JSONL line is a standalone JSON object following the schema:
+/// `at_ps`, `dur_ps`, `kind`, `asid` (null for system-wide events),
+/// `arg`.
+#[test]
+fn jsonl_lines_parse_and_follow_the_schema() {
+    let w = Workload::quick();
+    let (_, out) = run_config_traced(
+        &SystemConfig::rampage_switching(IssueRate::GHZ1, 4096),
+        &w,
+        1 << 20,
+    );
+    let jsonl = to_jsonl(&out.events);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), out.events.len());
+    for line in &lines {
+        let doc = Json::parse(line).expect("line parses");
+        for key in ["at_ps", "dur_ps", "kind", "asid", "arg"] {
+            assert!(doc.get(key).is_some(), "missing {key} in {line}");
+        }
+        assert!(doc.get("at_ps").unwrap().as_u64().is_some());
+        assert!(doc.get("kind").unwrap().as_str().is_some());
+    }
+    // Lines round-trip the events they came from.
+    let first = Json::parse(lines[0]).unwrap();
+    assert_eq!(
+        first.get("at_ps").unwrap().as_u64().unwrap(),
+        out.events[0].at.0
+    );
+    assert_eq!(
+        first.get("kind").unwrap().as_str().unwrap(),
+        out.events[0].kind.name()
+    );
+}
+
+/// The Chrome `trace_event` document has the shape chrome://tracing
+/// and Perfetto expect: complete events (`ph: "X"`) with microsecond
+/// timestamps, plus the caller's metadata.
+#[test]
+fn chrome_trace_document_has_the_expected_shape() {
+    let w = Workload::quick();
+    let cfg = SystemConfig::rampage(IssueRate::GHZ1, 4096);
+    let (_, out) = run_config_traced(&cfg, &w, 1 << 20);
+    let doc = chrome_trace(
+        &out.events,
+        vec![("config".to_string(), cfg.label().to_json())],
+    );
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ns")
+    );
+    assert_eq!(
+        doc.get("metadata")
+            .and_then(|m| m.get("config"))
+            .and_then(Json::as_str),
+        Some(cfg.label().as_str())
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), out.events.len());
+    for (e, src) in events.iter().zip(&out.events) {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e.get("pid").and_then(Json::as_u64), Some(0));
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+        assert_eq!(e.get("name").and_then(Json::as_str), Some(src.kind.name()));
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        assert!((ts - src.at.0 as f64 / 1e6).abs() < 1e-9);
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+    }
+    // The document itself survives a print/parse round trip.
+    assert!(Json::parse(&doc.pretty()).is_ok());
+}
+
+/// The latency histograms (always on — they are pure counters) must
+/// reconcile exactly with the event counters on every preset.
+#[test]
+fn histograms_reconcile_with_counters_on_every_preset() {
+    let w = Workload::quick();
+    for (name, cfg) in presets() {
+        let out = Engine::new(&cfg, w.sources()).run();
+        let (h, c) = (&out.metrics.hist, &out.metrics.counts);
+        assert_eq!(
+            h.tlb.count(),
+            c.tlb.misses,
+            "{name}: one TLB-walk sample per TLB miss"
+        );
+        assert_eq!(
+            h.fault.count(),
+            c.page_faults + c.soft_faults,
+            "{name}: one fault-service sample per fault"
+        );
+        assert_eq!(
+            h.dram.count(),
+            c.page_faults + c.dram_block_fetches + c.dram_writebacks + c.prefetches,
+            "{name}: one DRAM-service sample per transfer"
+        );
+        for hist in [&h.tlb, &h.fault, &h.dram] {
+            assert_eq!(hist.bucket_sum(), hist.count(), "{name}: bucket sums");
+        }
+    }
+}

@@ -368,6 +368,136 @@ fn interleaver_conserves_and_orders_records() {
     }
 }
 
+// ---------- Whole-engine invariants: time identity and histograms ----------
+
+use rampage::core::{DramKind, Engine, IssueRate, SystemConfig};
+use rampage_trace::TraceSource;
+
+/// A random valid system: preset × unit size × issue rate × DRAM model.
+/// Combinations the validator rejects are resampled.
+fn random_config(rng: &mut StdRng) -> SystemConfig {
+    loop {
+        let rate = pick(rng, &[IssueRate::MHZ200, IssueRate::GHZ1, IssueRate::GHZ4]);
+        let size = pick(rng, &[256u64, 512, 1024, 2048, 4096]);
+        let mut cfg = match rng.gen_range(0..4u8) {
+            0 => SystemConfig::baseline(rate, size),
+            1 => SystemConfig::two_way(rate, size),
+            2 => SystemConfig::rampage(rate, size),
+            _ => SystemConfig::rampage_switching(rate, size),
+        };
+        cfg.dram = pick(
+            rng,
+            &[DramKind::Rambus, DramKind::RambusPipelined, DramKind::Sdram],
+        );
+        if cfg.validate().is_ok() {
+            return cfg;
+        }
+    }
+}
+
+/// A short synthetic multiprogrammed trace: a few processes, each a mix
+/// of fetches, loads, and stores over a handful of pages.
+fn random_sources(rng: &mut StdRng) -> Vec<Vec<TraceRecord>> {
+    let nprocs = rng.gen_range(1..4usize);
+    (0..nprocs)
+        .map(|_| {
+            let n = rng.gen_range(20..300usize);
+            (0..n)
+                .map(|_| {
+                    let addr = rng.gen_range(0..32u64) * 4096 + rng.gen_range(0..1024u64) * 4;
+                    match rng.gen_range(0..3u8) {
+                        0 => TraceRecord::fetch(addr),
+                        1 => TraceRecord::read(addr),
+                        _ => TraceRecord::write(addr),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn boxed(recs: &[Vec<TraceRecord>]) -> Vec<Box<dyn TraceSource + Send>> {
+    recs.iter()
+        .enumerate()
+        .map(|(p, r)| {
+            Box::new(VecSource::new(format!("p{p}"), r.clone())) as Box<dyn TraceSource + Send>
+        })
+        .collect()
+}
+
+/// For any valid config and trace: the per-level time breakdown sums
+/// exactly to the engine's elapsed cycles, and the latency histograms
+/// reconcile sample-for-sample with the event counters.
+#[test]
+fn engine_time_identity_and_histogram_counts_hold() {
+    let mut rng = StdRng::seed_from_u64(0x11ad);
+    for _ in 0..24 {
+        let cfg = random_config(&mut rng);
+        let recs = random_sources(&mut rng);
+        let out = Engine::new(&cfg, boxed(&recs)).run();
+        let cycle = cfg.issue.cycle().0;
+        assert_eq!(
+            out.metrics.total_cycles(),
+            out.elapsed.0 / cycle,
+            "time breakdown must sum to elapsed cycles for {}",
+            cfg.label()
+        );
+        let (h, c) = (&out.metrics.hist, &out.metrics.counts);
+        assert_eq!(h.tlb.count(), c.tlb.misses, "{}", cfg.label());
+        assert_eq!(
+            h.fault.count(),
+            c.page_faults + c.soft_faults,
+            "{}",
+            cfg.label()
+        );
+        assert_eq!(
+            h.dram.count(),
+            c.page_faults + c.dram_block_fetches + c.dram_writebacks + c.prefetches,
+            "{}",
+            cfg.label()
+        );
+        for hist in [&h.tlb, &h.fault, &h.dram] {
+            assert_eq!(hist.bucket_sum(), hist.count());
+            assert!(hist.mean() <= hist.max() as f64);
+        }
+    }
+}
+
+/// Tracing must be a pure observer under randomized configs too, and
+/// the ring's count conservation (kept + dropped is cap-independent)
+/// must hold for arbitrary capacities.
+#[test]
+fn tracing_never_perturbs_randomized_runs() {
+    let mut rng = StdRng::seed_from_u64(0x11ae);
+    for _ in 0..12 {
+        let cfg = random_config(&mut rng);
+        let recs = random_sources(&mut rng);
+        let plain = Engine::new(&cfg, boxed(&recs)).run();
+        let cap = rng.gen_range(1..5000usize);
+        let mut traced = Engine::new(&cfg, boxed(&recs));
+        traced.enable_trace(cap);
+        let traced = traced.run();
+        assert_eq!(plain.metrics.time, traced.metrics.time, "{}", cfg.label());
+        assert_eq!(
+            plain.metrics.counts,
+            traced.metrics.counts,
+            "{}",
+            cfg.label()
+        );
+        assert_eq!(plain.elapsed, traced.elapsed, "{}", cfg.label());
+        assert!(traced.events.len() <= cap, "ring exceeded cap {cap}");
+        let mut full = Engine::new(&cfg, boxed(&recs));
+        full.enable_trace(1 << 22);
+        let full = full.run();
+        assert_eq!(
+            traced.events.len() as u64 + traced.events_dropped,
+            full.events.len() as u64,
+            "count conservation at cap {cap} for {}",
+            cfg.label()
+        );
+    }
+}
+
 #[test]
 fn classifier_agrees_with_plain_cache() {
     let mut rng = StdRng::seed_from_u64(0x11ac);

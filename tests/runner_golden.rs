@@ -4,10 +4,11 @@
 //! isolated to its own cell instead of killing the sweep.
 
 use rampage_core::experiments::{
-    ablations, table3, table4, table5, timeslice, Job, SweepRunner, Workload,
+    ablations, run_config_traced, table3, table4, table5, timeslice, Job, SweepRunner, Workload,
 };
+use rampage_core::obs::to_jsonl;
 use rampage_core::{HierarchyKind, IssueRate, SystemConfig};
-use rampage_json::ToJson;
+use rampage_json::{Json, ToJson};
 
 /// A job that passes [`SystemConfig::validate`] but panics inside the
 /// simulation: the standby list's capacity check only trips once the
@@ -126,6 +127,68 @@ fn failed_cells_do_not_break_golden_equality() {
     );
     assert_eq!(serial.failures(), parallel.failures());
     assert_eq!(serial.failure_count(), 1, "duplicate bad job fails once");
+}
+
+/// Drop keys whose values are wall-clock-derived (and therefore vary
+/// run to run) before byte comparison. `telemetry_json` isolates all
+/// of them under `"wall"`; `"workers"` is stripped too so documents
+/// from different pool widths stay comparable.
+fn strip_nondeterministic(doc: Json) -> String {
+    match doc {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "wall" && k != "workers")
+                .collect(),
+        )
+        .pretty(),
+        other => other.pretty(),
+    }
+}
+
+/// The persisted sweep outputs — `cells.json`, wall-stripped
+/// `metrics.json`, and the event-trace JSONL — must be byte-identical
+/// across repeat runs and across `--jobs 1` vs `--jobs N`.
+#[test]
+fn persisted_outputs_are_deterministic_across_jobs_and_reruns() {
+    let w = Workload::quick();
+    let rates = [IssueRate::MHZ200, IssueRate::GHZ4];
+    let sizes = [256u64, 2048];
+    let sweep = |jobs: usize| {
+        let runner = SweepRunner::new(jobs);
+        table3::run(&runner, &w, &rates, &sizes);
+        (
+            runner.cache().to_json().pretty(),
+            strip_nondeterministic(runner.telemetry_json()),
+        )
+    };
+    let (cells_1, metrics_1) = sweep(1);
+    let (cells_n, metrics_n) = sweep(4);
+    let (cells_n2, metrics_n2) = sweep(4);
+    assert_eq!(cells_1, cells_n, "cells.json differs between jobs 1 and 4");
+    assert_eq!(cells_n, cells_n2, "cells.json differs across reruns");
+    assert_eq!(metrics_1, metrics_n, "metrics.json (wall-stripped) differs");
+    assert_eq!(metrics_n, metrics_n2, "metrics.json differs across reruns");
+
+    // The event trace of the same config is byte-identical across runs.
+    let cfg = SystemConfig::rampage_switching(IssueRate::GHZ1, 4096);
+    let (_, a) = run_config_traced(&cfg, &w, 1 << 20);
+    let (_, b) = run_config_traced(&cfg, &w, 1 << 20);
+    assert_eq!(
+        to_jsonl(&a.events),
+        to_jsonl(&b.events),
+        "event-trace JSONL differs across reruns"
+    );
+
+    // And a runner whose workload also produced a trace yields the same
+    // cells as one that never traced: tracing cannot leak into sweeps.
+    let runner = SweepRunner::new(4);
+    table3::run(&runner, &w, &rates, &sizes);
+    assert_eq!(
+        runner.cache().to_json().pretty(),
+        cells_1,
+        "a traced run alongside the sweep changed cached cells"
+    );
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! Golden snapshots of the rendered paper artifacts.
+//!
+//! Every table and figure the `repro` binary prints is pinned here at
+//! the quick workload: any change to simulation results, derived
+//! statistics, or table formatting shows up as a readable text diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test snapshot_golden
+//! git diff tests/snapshots/   # review what moved, then commit
+//! ```
+
+use rampage_core::experiments::{figures, table3, table4, table5, SweepRunner, Workload};
+use rampage_core::IssueRate;
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.txt"))
+}
+
+/// Compare `rendered` against the pinned snapshot, or rewrite the pin
+/// when `UPDATE_SNAPSHOTS=1` is set.
+fn check(name: &str, rendered: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
+        std::fs::write(&path, rendered).expect("write snapshot");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run UPDATE_SNAPSHOTS=1 cargo test --test snapshot_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        pinned, rendered,
+        "snapshot {name} diverged; if intentional, regenerate with \
+         UPDATE_SNAPSHOTS=1 cargo test --test snapshot_golden"
+    );
+}
+
+/// The shared sweep every snapshot derives from: both issue-rate
+/// extremes, two sizes, quick workload. One runner so the cell cache
+/// dedups across artifacts exactly as `repro` does.
+fn fixture() -> (SweepRunner, Workload, table3::Table3) {
+    let w = Workload::quick();
+    let runner = SweepRunner::new(0);
+    let rates = [IssueRate::MHZ200, IssueRate::GHZ4];
+    let sizes = [256u64, 2048];
+    let t3 = table3::run(&runner, &w, &rates, &sizes);
+    (runner, w, t3)
+}
+
+#[test]
+fn table3_render_matches_snapshot() {
+    let (_, _, t3) = fixture();
+    check("table3", &t3.render());
+}
+
+#[test]
+fn table4_render_matches_snapshot() {
+    let (runner, w, t3) = fixture();
+    check("table4", &table4::run(&runner, &w, &t3).render());
+}
+
+#[test]
+fn table5_render_matches_snapshot() {
+    let (runner, w, _) = fixture();
+    let t5 = table5::run(
+        &runner,
+        &w,
+        &[IssueRate::MHZ200, IssueRate::GHZ4],
+        &[256, 2048],
+    );
+    check("table5", &t5.render());
+}
+
+#[test]
+fn figure2_render_matches_snapshot() {
+    let (_, _, t3) = fixture();
+    check(
+        "fig2",
+        &figures::level_figure(&t3, 200, "Figure 2").render(),
+    );
+}
+
+#[test]
+fn figure3_render_matches_snapshot() {
+    let (_, _, t3) = fixture();
+    check(
+        "fig3",
+        &figures::level_figure(&t3, 4000, "Figure 3").render(),
+    );
+}
+
+/// The per-run report (headline metrics, per-process table, latency
+/// histograms) is itself an output surface — pin it too.
+#[test]
+fn run_report_matches_snapshot() {
+    use rampage_core::experiments::run_config_traced;
+    use rampage_core::SystemConfig;
+    let (_, out) = run_config_traced(
+        &SystemConfig::rampage_switching(IssueRate::GHZ1, 4096),
+        &Workload::quick(),
+        1 << 20,
+    );
+    check("report_rampage_switching", &out.report());
+}
