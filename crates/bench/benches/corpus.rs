@@ -1,0 +1,85 @@
+//! Trace I/O bench: replaying a recorded corpus shard versus reading the
+//! same records from the raw fixed-width Bin format (and versus pure
+//! synthesis), plus the on-disk size of each. The corpus reader decodes
+//! blocks on a prefetch thread, so it should beat the 9-byte-per-record
+//! Bin reader on both footprint and throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rampage_trace::corpus::{record_source, CorpusReader};
+use rampage_trace::io::{copy_bin, BinReader, BinWriter};
+use rampage_trace::{profiles, TraceSource};
+use std::path::PathBuf;
+
+/// One benchmark's worth of records: the first Table 2 program at
+/// 1/200 volume (~360 k references).
+const SCALE: u64 = 200;
+const SEED: u64 = 0xbe7c4;
+
+fn drain<S: TraceSource>(mut source: S) -> u64 {
+    let mut n = 0u64;
+    while let Some(rec) = source.next_record() {
+        black_box(rec);
+        n += 1;
+    }
+    n
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let p = &profiles::TABLE2[0];
+    let dir = std::env::temp_dir().join(format!("rampage-bench-corpus-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench tmp dir");
+
+    // Record the corpus shard and the equivalent raw Bin file once.
+    let meta = record_source(
+        &dir,
+        p.name,
+        &mut p.source(SCALE, SEED),
+        64 * 1024,
+        Some(SEED),
+        Some(SCALE),
+        None,
+    )
+    .expect("record shard");
+    let shard_path = dir.join(&meta.file);
+    let bin_path: PathBuf = dir.join("raw.bin");
+    {
+        let file = std::fs::File::create(&bin_path).expect("create bin");
+        let mut w = BinWriter::new(std::io::BufWriter::new(file)).expect("bin writer");
+        copy_bin(&mut p.source(SCALE, SEED), &mut w).expect("copy");
+        w.finish().expect("finish bin");
+    }
+    let bin_bytes = std::fs::metadata(&bin_path).expect("bin meta").len();
+    println!(
+        "corpus bench: {} records; corpus {} bytes vs bin {bin_bytes} bytes ({:.1}x smaller)",
+        meta.records,
+        meta.bytes,
+        bin_bytes as f64 / meta.bytes as f64
+    );
+
+    let mut g = c.benchmark_group("trace_io");
+    g.sample_size(10);
+    g.bench_function("corpus_replay", |b| {
+        b.iter(|| {
+            let reader = CorpusReader::open(&shard_path).expect("open shard");
+            assert_eq!(drain(reader), meta.records);
+        })
+    });
+    g.bench_function("bin_read", |b| {
+        b.iter(|| {
+            let file = std::fs::File::open(&bin_path).expect("open bin");
+            let reader = BinReader::new(std::io::BufReader::new(file)).expect("bin reader");
+            assert_eq!(drain(reader), meta.records);
+        })
+    });
+    g.bench_function("synthesize", |b| {
+        b.iter(|| {
+            assert_eq!(drain(p.source(SCALE, SEED)), meta.records);
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

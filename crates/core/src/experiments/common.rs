@@ -6,10 +6,71 @@ use crate::experiments::runner::{Job, SweepRunner};
 use crate::metrics::LevelFractions;
 use crate::time::IssueRate;
 use rampage_json::{obj, Json, ToJson};
+use rampage_trace::corpus::{CorpusReader, Manifest};
 use rampage_trace::{profiles, TraceSource};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The block/page size sweep of every table: 128 B – 4 KB.
 pub const PAPER_SIZES: [u64; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+/// Corpus directory workloads replay from instead of synthesizing, when
+/// set. Process-global rather than a [`Workload`] field on purpose: job
+/// fingerprints (and therefore the cell cache and every persisted
+/// artifact) must be identical whether a workload was synthesized or
+/// replayed from a recorded corpus — the corpus is a *transport*, not a
+/// different experiment.
+static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sources opened from the corpus since the last [`reset`] /
+/// process start.
+static CORPUS_OPENED: AtomicU64 = AtomicU64::new(0);
+
+/// Sources that fell back to synthesis (no matching shard, mismatched
+/// identity, or an unreadable file).
+static CORPUS_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
+/// Counters describing how workload sources were built since the last
+/// [`reset`](CorpusSourceStats::reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSourceStats {
+    /// Sources replayed from recorded corpus shards.
+    pub opened: u64,
+    /// Sources that fell back to in-memory synthesis.
+    pub fallback: u64,
+}
+
+impl CorpusSourceStats {
+    /// Zero both counters (tests use this to isolate assertions).
+    pub fn reset() {
+        CORPUS_OPENED.store(0, Ordering::SeqCst);
+        CORPUS_FALLBACK.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Route subsequent [`Workload::sources`] calls through the corpus in
+/// `dir` (`None` restores pure synthesis). Shards are matched by
+/// benchmark name *and* the workload's seed and scale; anything
+/// unmatched silently falls back to synthesis (counted in
+/// [`corpus_source_stats`]), so a partial corpus still works.
+pub fn set_trace_dir(dir: Option<PathBuf>) {
+    let mut guard = TRACE_DIR.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = dir;
+}
+
+/// The corpus directory replay currently routes through, if any.
+pub fn trace_dir() -> Option<PathBuf> {
+    TRACE_DIR.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// How sources have been built so far (corpus replay vs synthesis).
+pub fn corpus_source_stats() -> CorpusSourceStats {
+    CorpusSourceStats {
+        opened: CORPUS_OPENED.load(Ordering::SeqCst),
+        fallback: CORPUS_FALLBACK.load(Ordering::SeqCst),
+    }
+}
 
 /// The multiprogrammed workload driving a sweep: the first `nbench`
 /// programs of Table 2, each at `1/scale` of its paper reference count —
@@ -74,11 +135,51 @@ impl Workload {
     }
 
     /// Build the trace sources.
+    ///
+    /// With a corpus directory set ([`set_trace_dir`]), each profile
+    /// whose recorded shard matches this workload's seed, scale, and
+    /// reference count is replayed from disk; everything else is
+    /// synthesized as before. Either way the record stream is
+    /// bit-identical, so downstream results do not depend on the route.
     pub fn sources(&self) -> Vec<Box<dyn TraceSource + Send>> {
+        let corpus =
+            trace_dir().and_then(|dir| Manifest::load(&dir).ok().map(|manifest| (dir, manifest)));
         self.profiles()
             .iter()
-            .map(|p| Box::new(p.source(self.scale, self.seed)) as Box<dyn TraceSource + Send>)
+            .map(|p| match &corpus {
+                Some((dir, manifest)) => self.corpus_or_synth(p, dir, manifest),
+                None => self.synth(p),
+            })
             .collect()
+    }
+
+    fn synth(&self, p: &'static profiles::Profile) -> Box<dyn TraceSource + Send> {
+        Box::new(p.source(self.scale, self.seed))
+    }
+
+    /// Replay `p` from the corpus when a shard with the right identity
+    /// (name, seed, scale) and record count exists and opens; otherwise
+    /// synthesize. Each path bumps its [`corpus_source_stats`] counter.
+    fn corpus_or_synth(
+        &self,
+        p: &'static profiles::Profile,
+        dir: &std::path::Path,
+        manifest: &Manifest,
+    ) -> Box<dyn TraceSource + Send> {
+        let replay = manifest
+            .find_recorded(p.name, self.seed, self.scale)
+            .filter(|meta| meta.records == p.scaled_refs(self.scale))
+            .and_then(|meta| CorpusReader::open(dir.join(&meta.file)).ok());
+        match replay {
+            Some(reader) => {
+                CORPUS_OPENED.fetch_add(1, Ordering::SeqCst);
+                Box::new(reader.with_name(p.name))
+            }
+            None => {
+                CORPUS_FALLBACK.fetch_add(1, Ordering::SeqCst);
+                self.synth(p)
+            }
+        }
     }
 
     /// Total references this workload will produce.

@@ -37,7 +37,10 @@ pub mod table4;
 pub mod table5;
 pub mod timeslice;
 
-pub use common::{run_config, run_config_traced, sweep_sizes, Cell, Workload, PAPER_SIZES};
+pub use common::{
+    corpus_source_stats, run_config, run_config_traced, set_trace_dir, sweep_sizes, trace_dir,
+    Cell, CorpusSourceStats, Workload, PAPER_SIZES,
+};
 pub use runner::{
     CacheLoad, CellCache, FailedCell, Job, ProgressUpdate, SweepRunner, CACHE_FORMAT_VERSION,
 };

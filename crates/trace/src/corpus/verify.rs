@@ -1,0 +1,334 @@
+//! Corpus verification: a sharded parallel check that every shard's
+//! bytes, blocks, stats, and profile fidelity still match its manifest.
+
+use super::block::Fnv1a;
+use super::manifest::{Manifest, ShardMeta, ShardStats};
+use super::reader::CorpusReader;
+use super::{fidelity_tolerance, CorpusError};
+use crate::record::AccessKind;
+use crate::stream::TraceSource;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The verdict for one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard name (from the manifest).
+    pub name: String,
+    /// Records actually decoded.
+    pub records: u64,
+    /// Blocks walked.
+    pub blocks: u64,
+    /// Problems found; empty means the shard is healthy.
+    pub problems: Vec<String>,
+    /// Profile drift (max abs difference of ifetch/write fractions from
+    /// the recorded Table 2 expectations), when a profile was recorded.
+    pub drift: Option<f64>,
+}
+
+impl ShardReport {
+    /// Whether the shard passed every check.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// The verdict for a whole corpus directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Per-shard verdicts, in manifest order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl VerifyReport {
+    /// Whether every shard passed.
+    pub fn ok(&self) -> bool {
+        self.shards.iter().all(ShardReport::ok)
+    }
+
+    /// Shards that failed.
+    pub fn failed(&self) -> usize {
+        self.shards.iter().filter(|s| !s.ok()).count()
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.shards {
+            let status = if s.ok() { "ok" } else { "FAIL" };
+            let drift = s
+                .drift
+                .map(|d| format!(", drift {d:.4}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{:12} {:>10} records {:>6} blocks{drift}  {status}\n",
+                s.name, s.records, s.blocks
+            ));
+            for p in &s.problems {
+                out.push_str(&format!("             - {p}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{} shard(s), {} failed\n",
+            self.shards.len(),
+            self.failed()
+        ));
+        out
+    }
+}
+
+/// Verify one shard against its manifest entry: file checksum, block
+/// headers and payloads, recomputed stats, and (when recorded) profile
+/// fidelity within [`fidelity_tolerance`] of the shard's record count.
+fn verify_shard(dir: &Path, meta: &ShardMeta) -> ShardReport {
+    let mut problems = Vec::new();
+    let path = dir.join(&meta.file);
+    let mut records = 0u64;
+    let mut blocks = 0u64;
+    let mut drift = None;
+
+    match std::fs::read(&path) {
+        Err(e) => problems.push(format!("unreadable: {e}")),
+        Ok(bytes) => {
+            if bytes.len() as u64 != meta.bytes {
+                problems.push(format!(
+                    "file is {} bytes, manifest says {}",
+                    bytes.len(),
+                    meta.bytes
+                ));
+            }
+            let mut hash = Fnv1a::new();
+            hash.update(&bytes);
+            if hash.0 != meta.checksum {
+                problems.push("file checksum disagrees with manifest".to_string());
+            }
+            match walk_blocks(&path) {
+                Err(e) => problems.push(e),
+                Ok((stats, nrecords, nblocks, walk_problems)) => {
+                    records = nrecords;
+                    blocks = nblocks;
+                    problems.extend(walk_problems);
+                    if nrecords != meta.records {
+                        problems.push(format!(
+                            "decoded {nrecords} records, manifest says {}",
+                            meta.records
+                        ));
+                    }
+                    if nblocks != meta.blocks {
+                        problems.push(format!(
+                            "walked {nblocks} blocks, manifest says {}",
+                            meta.blocks
+                        ));
+                    }
+                    if stats != meta.stats {
+                        problems.push(format!(
+                            "recomputed stats {stats:?} disagree with manifest {:?}",
+                            meta.stats
+                        ));
+                    }
+                    if let Some(p) = &meta.profile {
+                        let d = p.drift(&stats);
+                        let tol = fidelity_tolerance(meta.records);
+                        drift = Some(d);
+                        if d > tol {
+                            problems
+                                .push(format!("profile drift {d:.4} exceeds tolerance {tol:.4}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ShardReport {
+        name: meta.name.clone(),
+        records,
+        blocks,
+        problems,
+        drift,
+    }
+}
+
+/// Decode every block of a shard, recomputing its reference-mix stats.
+/// Returns `(stats, records, blocks, problems)`; a hard open/index
+/// failure is the `Err` string.
+#[allow(clippy::type_complexity)]
+fn walk_blocks(path: &Path) -> Result<(ShardStats, u64, u64, Vec<String>), String> {
+    let mut reader = CorpusReader::open(path).map_err(|e| format!("unreadable shard: {e}"))?;
+    let blocks = reader.blocks();
+    let mut problems = Vec::new();
+    let mut ifetches = 0u64;
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut pages = HashSet::new();
+    let mut records = 0u64;
+    while let Some(rec) = reader.next_record() {
+        records += 1;
+        match rec.kind {
+            AccessKind::InstrFetch => ifetches += 1,
+            AccessKind::Read => reads += 1,
+            AccessKind::Write => writes += 1,
+        }
+        pages.insert(rec.addr.page_number(4096));
+    }
+    for w in reader.warnings() {
+        problems.push(format!("block {}: {}", w.block, w.reason));
+    }
+    Ok((
+        ShardStats {
+            ifetches,
+            reads,
+            writes,
+            unique_pages: pages.len() as u64,
+        },
+        records,
+        blocks,
+        problems,
+    ))
+}
+
+/// Verify every shard the manifest lists, fanning shards out over `jobs`
+/// worker threads (clamped to at least 1). Shards missing from disk are
+/// reported as failures; extra `.rct` files not in the manifest are
+/// flagged too.
+///
+/// # Errors
+///
+/// [`CorpusError::Manifest`] if the manifest itself cannot be loaded;
+/// per-shard problems land in the report rather than erroring.
+pub fn verify_dir(dir: &Path, jobs: usize) -> Result<VerifyReport, CorpusError> {
+    let manifest = Manifest::load(dir)?;
+    let jobs = jobs.max(1);
+    let work: Vec<(usize, ShardMeta)> = manifest.shards.iter().cloned().enumerate().collect();
+    let queue = Mutex::new(work.into_iter());
+    let results: Mutex<Vec<(usize, ShardReport)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(manifest.shards.len().max(1)) {
+            scope.spawn(|| loop {
+                let next = {
+                    let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
+                    q.next()
+                };
+                let Some((i, meta)) = next else { break };
+                let report = verify_shard(dir, &meta);
+                results
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((i, report));
+            });
+        }
+    });
+    let mut indexed = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    indexed.sort_by_key(|(i, _)| *i);
+    let mut shards: Vec<ShardReport> = indexed.into_iter().map(|(_, r)| r).collect();
+
+    // Flag stray shard files the manifest does not know about.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        let known: HashSet<PathBuf> = manifest.shards.iter().map(|s| dir.join(&s.file)).collect();
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|e| e == "rct") && !known.contains(&p) {
+                shards.push(ShardReport {
+                    name: p
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "?".to_string()),
+                    records: 0,
+                    blocks: 0,
+                    problems: vec!["shard file not listed in manifest".to_string()],
+                    drift: None,
+                });
+            }
+        }
+    }
+    Ok(VerifyReport { shards })
+}
+
+/// Convenience wrapper used by tests and the CLI: verify and convert a
+/// failing report into [`CorpusError::VerifyFailed`].
+///
+/// # Errors
+///
+/// [`CorpusError::VerifyFailed`] when any shard fails;
+/// [`CorpusError::Manifest`] when the manifest cannot be loaded.
+pub fn verify_dir_strict(dir: &Path, jobs: usize) -> Result<VerifyReport, CorpusError> {
+    let report = verify_dir(dir, jobs)?;
+    if report.ok() {
+        Ok(report)
+    } else {
+        Err(CorpusError::VerifyFailed {
+            failed: report.failed(),
+            total: report.shards.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::writer::record_profiles;
+    use super::*;
+    use crate::profiles::TABLE2;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rampage-verify-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn healthy_corpus_verifies_clean() {
+        let dir = tmp("clean");
+        std::fs::remove_dir_all(&dir).ok();
+        record_profiles(&dir, &TABLE2[..3], 20_000, 0x7a9e, 2048).unwrap();
+        let report = verify_dir(&dir, 4).unwrap();
+        assert_eq!(report.shards.len(), 3);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.render().contains("0 failed"));
+        for s in &report.shards {
+            assert!(s.drift.is_some());
+        }
+        verify_dir_strict(&dir, 2).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_shard_fails_verification() {
+        let dir = tmp("tamper");
+        std::fs::remove_dir_all(&dir).ok();
+        let m = record_profiles(&dir, &TABLE2[..2], 20_000, 1, 2048).unwrap();
+        let victim = dir.join(&m.shards[0].file);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+        let report = verify_dir(&dir, 2).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.failed(), 1);
+        assert!(!report.shards[0].ok());
+        assert!(report.shards[1].ok());
+        assert!(matches!(
+            verify_dir_strict(&dir, 2),
+            Err(CorpusError::VerifyFailed {
+                failed: 1,
+                total: 2
+            })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_and_stray_shards_are_flagged() {
+        let dir = tmp("stray");
+        std::fs::remove_dir_all(&dir).ok();
+        let m = record_profiles(&dir, &TABLE2[..2], 20_000, 2, 2048).unwrap();
+        // Rename shard 0: now it is both missing and a stray.
+        let old = dir.join(&m.shards[0].file);
+        let stray = dir.join("stray.rct");
+        std::fs::rename(&old, &stray).unwrap();
+        let report = verify_dir(&dir, 2).unwrap();
+        assert!(!report.ok());
+        let names: Vec<&str> = report.shards.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"stray"));
+        assert!(report.failed() >= 2, "{}", report.render());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -14,15 +14,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// flipped to an invalid value; 0 = disarmed.
 static CORRUPT_RECORD_AT: AtomicU64 = AtomicU64::new(0);
 
+/// 0-based corpus block number whose payload every
+/// [`CorpusReader`](crate::corpus::CorpusReader) will see bit-flipped
+/// before checksum verification; `u64::MAX` = disarmed.
+static CORRUPT_BLOCK_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+
 /// Arm a single-record corruption: record `record_no` (1-based) of any
 /// subsequently decoded binary trace reads back an invalid kind byte.
 pub fn arm_corrupt_record(record_no: u64) {
     CORRUPT_RECORD_AT.store(record_no, Ordering::SeqCst);
 }
 
+/// Arm a corpus block corruption: block `block_no` (0-based) of any
+/// subsequently read shard decodes with a flipped payload byte, tripping
+/// its checksum so the reader's quarantine-and-skip path runs.
+pub fn arm_corrupt_block(block_no: u64) {
+    CORRUPT_BLOCK_AT.store(block_no, Ordering::SeqCst);
+}
+
 /// Clear all armed trace faults.
 pub fn disarm() {
     CORRUPT_RECORD_AT.store(0, Ordering::SeqCst);
+    CORRUPT_BLOCK_AT.store(u64::MAX, Ordering::SeqCst);
 }
 
 /// Whether the given record number should decode as corrupt (one-shot:
@@ -31,4 +44,10 @@ pub fn disarm() {
 pub(crate) fn corrupts_record(record_no: u64) -> bool {
     let armed = CORRUPT_RECORD_AT.load(Ordering::SeqCst);
     armed != 0 && armed == record_no
+}
+
+/// Whether the given corpus block number should read back corrupt (stays
+/// armed until [`disarm`], matching every reader at that block number).
+pub(crate) fn corrupts_block(block_no: u64) -> bool {
+    CORRUPT_BLOCK_AT.load(Ordering::SeqCst) == block_no
 }

@@ -475,6 +475,119 @@ mod tests {
         assert!(r.error().is_some());
     }
 
+    /// Deterministic "arbitrary" record streams for the property tests:
+    /// full 64-bit addresses, all three kinds, seeded per case.
+    fn arbitrary_stream(seed: u64, len: usize) -> Vec<TraceRecord> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let addr: u64 = rng.gen();
+                match rng.gen_range(0u32..3) {
+                    0 => TraceRecord::read(addr),
+                    1 => TraceRecord::write(addr),
+                    _ => TraceRecord::fetch(addr),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn property_din_roundtrips_arbitrary_streams() {
+        for (seed, len) in [(0, 0), (1, 1), (2, 7), (3, 256), (4, 1000)] {
+            let records = arbitrary_stream(seed, len);
+            let mut src = VecSource::new("s", records.clone());
+            let mut w = DinWriter::new(Vec::new());
+            assert_eq!(copy_din(&mut src, &mut w).unwrap(), len as u64);
+            let bytes = w.finish().unwrap();
+            let mut r = DinReader::new(io::BufReader::new(&bytes[..]));
+            let got: Vec<_> = std::iter::from_fn(|| r.next_record()).collect();
+            assert_eq!(got, records, "din seed {seed} len {len}");
+            assert!(r.error().is_none());
+        }
+    }
+
+    #[test]
+    fn property_bin_roundtrips_arbitrary_streams() {
+        for (seed, len) in [(10, 0), (11, 1), (12, 9), (13, 512), (14, 1000)] {
+            let records = arbitrary_stream(seed, len);
+            let mut src = VecSource::new("s", records.clone());
+            let mut w = BinWriter::new(Vec::new()).unwrap();
+            assert_eq!(copy_bin(&mut src, &mut w).unwrap(), len as u64);
+            let bytes = w.finish().unwrap();
+            assert_eq!(bytes.len(), 8 + 9 * len, "bin is fixed-width");
+            let mut r = BinReader::new(&bytes[..]).unwrap();
+            let got: Vec<_> = std::iter::from_fn(|| r.next_record()).collect();
+            assert_eq!(got, records, "bin seed {seed} len {len}");
+            assert!(r.error().is_none());
+        }
+    }
+
+    #[test]
+    fn property_bin_truncation_anywhere_is_a_typed_error() {
+        let records = arbitrary_stream(20, 16);
+        let mut src = VecSource::new("s", records.clone());
+        let mut w = BinWriter::new(Vec::new()).unwrap();
+        copy_bin(&mut src, &mut w).unwrap();
+        let bytes = w.finish().unwrap();
+        // Cut at every byte position that tears a record (not at a
+        // record boundary and not inside the magic).
+        for cut in 9..bytes.len() {
+            let whole_records = (cut - 8) / 9;
+            let mut r = BinReader::new(&bytes[..cut]).unwrap();
+            let got: Vec<_> = std::iter::from_fn(|| r.next_record()).collect();
+            assert_eq!(got, records[..whole_records], "cut {cut}");
+            if (cut - 8) % 9 == 0 {
+                assert!(r.error().is_none(), "clean boundary at {cut}");
+            } else {
+                assert!(
+                    matches!(r.error(), Some(TraceIoError::Malformed(_, _))),
+                    "torn record at {cut} must surface an error"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property_bin_garbled_kind_byte_is_a_typed_error() {
+        let records = arbitrary_stream(21, 8);
+        let mut src = VecSource::new("s", records.clone());
+        let mut w = BinWriter::new(Vec::new()).unwrap();
+        copy_bin(&mut src, &mut w).unwrap();
+        let mut bytes = w.finish().unwrap();
+        let victim = 3usize; // garble record 4's kind byte
+        bytes[8 + victim * 9] = 0x77;
+        let mut r = BinReader::new(&bytes[..]).unwrap();
+        let got: Vec<_> = std::iter::from_fn(|| r.next_record()).collect();
+        assert_eq!(got, records[..victim], "stream stops before the bad record");
+        let err = r.error().expect("error recorded");
+        assert!(
+            matches!(err, TraceIoError::Malformed(_, n) if *n == victim as u64 + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn property_din_garbled_line_is_a_typed_error() {
+        let records = arbitrary_stream(22, 12);
+        let mut src = VecSource::new("s", records.clone());
+        let mut w = DinWriter::new(Vec::new());
+        copy_din(&mut src, &mut w).unwrap();
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        let mut lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let victim = 5usize;
+        lines[victim] = "9 nothex".to_string();
+        let garbled = lines.join("\n");
+        let mut r = DinReader::new(io::BufReader::new(garbled.as_bytes()));
+        let got: Vec<_> = std::iter::from_fn(|| r.next_record()).collect();
+        assert_eq!(got, records[..victim]);
+        let err = r.error().expect("error recorded");
+        assert!(
+            matches!(err, TraceIoError::Malformed(_, n) if *n == victim as u64 + 1),
+            "{err}"
+        );
+    }
+
     #[test]
     fn error_display_is_useful() {
         let e = TraceIoError::Malformed("bad label \"9\"".into(), 7);

@@ -47,4 +47,26 @@ cargo test -q --test observability --test snapshot_golden
 echo "==> cargo test -q --features fault (fault-injection suite)"
 cargo test -q --features fault
 
+echo "==> cargo test -q --test corpus (trace corpus gate: record → replay determinism)"
+cargo test -q --test corpus
+
+echo "==> cargo test -q --test corpus --features fault (armed corrupt-block quarantine)"
+cargo test -q --test corpus --features fault
+
+# End-to-end corrupt-block drill through the CLI: record a corpus,
+# verify it clean, smash a byte mid-file, and the verifier must fail.
+echo "==> trace corpus CLI drill (record, verify, corrupt, re-verify)"
+CORPUS_TMP=$(mktemp -d)
+trap 'rm -rf "${CORPUS_TMP}"' EXIT
+./target/release/repro trace record --dir "${CORPUS_TMP}" --scale 20000 --nbench 2 >/dev/null
+./target/release/repro trace verify --dir "${CORPUS_TMP}" >/dev/null
+SHARD=$(ls "${CORPUS_TMP}"/*.rct | head -1)
+SHARD_BYTES=$(wc -c <"${SHARD}")
+printf '\xff\xff\xff\xff\xff\xff\xff\xff' |
+  dd of="${SHARD}" bs=1 seek=$((SHARD_BYTES / 2)) conv=notrunc status=none
+if ./target/release/repro trace verify --dir "${CORPUS_TMP}" >/dev/null 2>&1; then
+  echo "FAIL: trace verify did not flag a corrupted shard" >&2
+  exit 1
+fi
+
 echo "All checks passed."

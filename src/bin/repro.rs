@@ -1,9 +1,13 @@
 //! Regenerates every table and figure of the RAMpage paper.
 //!
 //! ```text
-//! repro [--scale N] [--nbench N] [--jobs N] [--out DIR]
+//! repro [--scale N] [--nbench N] [--jobs N] [--out DIR] [--trace-dir DIR]
 //!       [--max-cell-failures N] [--trace-events PATH] [--trace-cap N]
 //!       <artifact>...
+//! repro trace record    --dir DIR [--scale N] [--nbench N] [--seed S] [--block-bytes N]
+//! repro trace info      --dir DIR
+//! repro trace verify    --dir DIR [--jobs N]
+//! repro trace import-din --dir DIR --name NAME FILE [--block-bytes N]
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
 //!            ablations perbench diag all
@@ -24,6 +28,12 @@
 //! `PATH.chrome.json` (load via chrome://tracing or Perfetto).
 //! `--trace-cap N` bounds the in-memory event ring (default 262144;
 //! the oldest events are dropped past the cap).
+//!
+//! `--trace-dir DIR` replays workloads from a recorded trace corpus
+//! (see `repro trace record`) instead of regenerating them in memory:
+//! shards whose name, seed, and scale match are streamed from disk
+//! (bit-identical to synthesis, so cells and caches are unaffected);
+//! anything unmatched silently falls back to synthesis.
 //!
 //! Failed cells (invalid configs, simulation panics) do not abort the
 //! run: their table slots hold inert zero cells, a failure report is
@@ -51,6 +61,7 @@ struct Options {
     max_cell_failures: usize,
     trace_events: Option<String>,
     trace_cap: usize,
+    trace_dir: Option<String>,
     artifacts: Vec<String>,
 }
 
@@ -63,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
         max_cell_failures: 0,
         trace_events: None,
         trace_cap: 1 << 18,
+        trace_dir: None,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -96,6 +108,9 @@ fn parse_args() -> Result<Options, String> {
             "--trace-events" => {
                 opts.trace_events = Some(args.next().ok_or("--trace-events needs a path")?);
             }
+            "--trace-dir" => {
+                opts.trace_dir = Some(args.next().ok_or("--trace-dir needs a directory")?);
+            }
             "--trace-cap" => {
                 let v = args.next().ok_or("--trace-cap needs a value")?;
                 opts.trace_cap = v.parse().map_err(|_| format!("bad trace-cap: {v}"))?;
@@ -120,10 +135,15 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--jobs N] [--out DIR] \
-[--max-cell-failures N] [--trace-events PATH] [--trace-cap N] \
-<table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...";
+[--trace-dir DIR] [--max-cell-failures N] [--trace-events PATH] [--trace-cap N] \
+<table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...\n\
+       repro trace <record|info|verify|import-din> (see repro trace --help)";
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("trace") {
+        let code = trace_main(std::env::args().skip(2).collect());
+        std::process::exit(code);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -131,6 +151,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(dir) = &opts.trace_dir {
+        rampage_core::experiments::set_trace_dir(Some(dir.into()));
+        eprintln!("# trace corpus: replaying matching shards from {dir}");
+    }
     let workload = Workload {
         nbench: opts.nbench,
         scale: opts.scale,
@@ -420,6 +444,14 @@ fn main() {
         }
     }
 
+    if opts.trace_dir.is_some() {
+        let s = rampage_core::experiments::corpus_source_stats();
+        eprintln!(
+            "# trace corpus: {} source(s) replayed from disk, {} synthesized (fallback)",
+            s.opened, s.fallback
+        );
+    }
+
     let failures = runner.failure_count();
     if failures > 0 {
         eprintln!("{}", runner.failure_report());
@@ -433,5 +465,276 @@ fn main() {
     }
     if persist_failed {
         std::process::exit(1);
+    }
+}
+
+const TRACE_USAGE: &str = "usage: repro trace <subcommand>\n\
+  record     --dir DIR [--scale N] [--nbench N] [--seed S] [--block-bytes N]\n\
+             Record the first N Table 2 profiles at 1/scale volume into a\n\
+             corpus directory (shard files + manifest.json).\n\
+  info       --dir DIR\n\
+             Summarize a corpus: shards, records, bytes, compression.\n\
+  verify     --dir DIR [--jobs N]\n\
+             Re-read every shard in parallel, checking checksums, counts,\n\
+             stats, and Table 2 profile fidelity. Non-zero exit on failure.\n\
+  import-din --dir DIR --name NAME FILE [--block-bytes N]\n\
+             Convert a Dinero ASCII ('din') trace file into a corpus shard\n\
+             and add it to the manifest.";
+
+/// Flag parsing shared by the `trace` subcommands.
+struct TraceArgs {
+    dir: Option<String>,
+    name: Option<String>,
+    scale: u64,
+    nbench: usize,
+    seed: u64,
+    jobs: usize,
+    block_bytes: usize,
+    positional: Vec<String>,
+}
+
+fn parse_trace_args(args: &[String]) -> Result<TraceArgs, String> {
+    let mut out = TraceArgs {
+        dir: None,
+        name: None,
+        scale: 50,
+        nbench: 18,
+        seed: 0x7a9e,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        block_bytes: rampage_trace::corpus::DEFAULT_BLOCK_BYTES,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next().cloned().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => out.dir = Some(need(&mut it, "--dir")?),
+            "--name" => out.name = Some(need(&mut it, "--name")?),
+            "--scale" => {
+                out.scale = need(&mut it, "--scale")?
+                    .parse()
+                    .map_err(|_| "bad scale".to_string())?;
+                if out.scale == 0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--nbench" => {
+                out.nbench = need(&mut it, "--nbench")?
+                    .parse()
+                    .map_err(|_| "bad nbench".to_string())?;
+                if !(1..=18).contains(&out.nbench) {
+                    return Err("nbench must be 1..=18".into());
+                }
+            }
+            "--seed" => {
+                out.seed = need(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "bad seed".to_string())?;
+            }
+            "--jobs" | "-j" => {
+                out.jobs = need(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|_| "bad jobs".to_string())?;
+            }
+            "--block-bytes" => {
+                out.block_bytes = need(&mut it, "--block-bytes")?
+                    .parse()
+                    .map_err(|_| "bad block-bytes".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("{TRACE_USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => out.positional.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Raw `Bin`-format bytes the same records would occupy (the 8-byte
+/// magic plus nine bytes per record) — the compression yardstick.
+fn bin_equivalent_bytes(records: u64) -> u64 {
+    8 + 9 * records
+}
+
+fn trace_main(args: Vec<String>) -> i32 {
+    use rampage_trace::corpus;
+    use rampage_trace::profiles::TABLE2;
+
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("{TRACE_USAGE}");
+        return 2;
+    };
+    if cmd == "--help" || cmd == "-h" {
+        println!("{TRACE_USAGE}");
+        return 0;
+    }
+    let parsed = match parse_trace_args(&args[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{TRACE_USAGE}");
+            return 2;
+        }
+    };
+    let Some(dir) = parsed.dir.clone() else {
+        eprintln!("{cmd}: --dir DIR is required\n{TRACE_USAGE}");
+        return 2;
+    };
+    let dir = Path::new(&dir);
+
+    match cmd.as_str() {
+        "record" => {
+            let t0 = Instant::now();
+            let profiles = &TABLE2[..parsed.nbench];
+            eprintln!(
+                "# recording {} profile(s) at scale 1/{} seed {:#x} into {}",
+                profiles.len(),
+                parsed.scale,
+                parsed.seed,
+                dir.display()
+            );
+            match corpus::record_profiles(
+                dir,
+                profiles,
+                parsed.scale,
+                parsed.seed,
+                parsed.block_bytes,
+            ) {
+                Ok(m) => {
+                    let records = m.total_records();
+                    let bytes = m.total_bytes();
+                    let raw = bin_equivalent_bytes(records);
+                    println!(
+                        "recorded {} shard(s): {} records, {} bytes ({:.2} B/record, {:.1}x smaller than raw Bin) in {:.1}s",
+                        m.shards.len(),
+                        records,
+                        bytes,
+                        bytes as f64 / records.max(1) as f64,
+                        raw as f64 / bytes.max(1) as f64,
+                        t0.elapsed().as_secs_f64()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("record failed: {e}");
+                    1
+                }
+            }
+        }
+        "info" => match corpus::Manifest::load(dir) {
+            Ok(m) => {
+                println!(
+                    "{:12} {:>10} {:>7} {:>10} {:>7} {:>6} {:>10} {:>6}  profile-drift",
+                    "shard", "records", "blocks", "bytes", "B/rec", "ratio", "scale", "seed"
+                );
+                for s in &m.shards {
+                    let drift = s
+                        .profile
+                        .as_ref()
+                        .map(|p| format!("{:.4}", p.drift(&s.stats)))
+                        .unwrap_or_else(|| "-".to_string());
+                    println!(
+                        "{:12} {:>10} {:>7} {:>10} {:>7.2} {:>5.1}x {:>10} {:>6}  {drift}",
+                        s.name,
+                        s.records,
+                        s.blocks,
+                        s.bytes,
+                        s.bytes as f64 / s.records.max(1) as f64,
+                        bin_equivalent_bytes(s.records) as f64 / s.bytes.max(1) as f64,
+                        s.scale.map_or("-".to_string(), |v| v.to_string()),
+                        s.seed.map_or("-".to_string(), |v| format!("{v:#x}")),
+                    );
+                }
+                let raw = bin_equivalent_bytes(m.total_records());
+                println!(
+                    "total: {} records in {} bytes ({:.1}x smaller than raw Bin)",
+                    m.total_records(),
+                    m.total_bytes(),
+                    raw as f64 / m.total_bytes().max(1) as f64
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("info failed: {e}");
+                1
+            }
+        },
+        "verify" => {
+            let t0 = Instant::now();
+            match corpus::verify_dir(dir, parsed.jobs) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    eprintln!("# verified in {:.1}s", t0.elapsed().as_secs_f64());
+                    if report.ok() {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                Err(e) => {
+                    eprintln!("verify failed: {e}");
+                    1
+                }
+            }
+        }
+        "import-din" => {
+            let Some(name) = parsed.name.clone() else {
+                eprintln!("import-din: --name NAME is required");
+                return 2;
+            };
+            let Some(file) = parsed.positional.first() else {
+                eprintln!("import-din: a din FILE argument is required");
+                return 2;
+            };
+            let input = match std::fs::File::open(file) {
+                Ok(f) => std::io::BufReader::new(f),
+                Err(e) => {
+                    eprintln!("import-din: cannot open {file}: {e}");
+                    return 1;
+                }
+            };
+            let mut source = rampage_trace::io::DinReader::new(input);
+            let meta = match corpus::record_source(
+                dir,
+                &name,
+                &mut source,
+                parsed.block_bytes,
+                None,
+                None,
+                None,
+            ) {
+                Ok(meta) => meta,
+                Err(e) => {
+                    eprintln!("import-din failed: {e}");
+                    return 1;
+                }
+            };
+            if let Some(err) = source.error() {
+                eprintln!("import-din: input ended with an error: {err}");
+                return 1;
+            }
+            let mut manifest = corpus::Manifest::load(dir).unwrap_or_default();
+            manifest.shards.retain(|s| s.name != name);
+            println!(
+                "imported {name}: {} records in {} blocks, {} bytes",
+                meta.records, meta.blocks, meta.bytes
+            );
+            manifest.shards.push(meta);
+            manifest.shards.sort_by(|a, b| a.name.cmp(&b.name));
+            match manifest.save(dir) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("import-din: could not update manifest: {e}");
+                    1
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown trace subcommand: {other}\n{TRACE_USAGE}");
+            2
+        }
     }
 }
