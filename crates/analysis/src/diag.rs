@@ -1,0 +1,221 @@
+//! Diagnostics: rule identifiers, findings, and their text/JSON renderings.
+
+use std::fmt;
+
+/// Every rule the analyzer can fire. The string form is the stable id
+/// used in waiver comments (`// lint: allow(<id>) — reason`) and in the
+/// JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash-ordered iteration (`iter`/`keys`/`values`/`drain`/`into_iter`
+    /// on a `HashMap`/`HashSet`) in a simulation path.
+    HashIter,
+    /// `Instant::now`/`SystemTime` read outside the timing allowlist.
+    WallClock,
+    /// `std::env` or thread-id read in a simulation path.
+    EnvRead,
+    /// `panic!`/`unreachable!`/`assert!` in library code without an
+    /// `// invariant:` comment or `# Panics` doc section.
+    PanicDoc,
+    /// `unwrap()`/`expect()` in library code.
+    Unwrap,
+    /// `impl MemorySystem` that neither defines nor inherits
+    /// `attach_trace`.
+    AttachTrace,
+    /// `experiments/table*.rs`/`fig*.rs` bypassing `SweepRunner`.
+    SweepRoute,
+    /// Wildcard `_ =>` arm in a `match` over a typed error enum.
+    ErrorMatch,
+    /// A `// lint: allow(...)` waiver with no `— <reason>` text.
+    WaiverMissingReason,
+    /// A waiver that matched no diagnostic on its line.
+    UnusedWaiver,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::HashIter,
+        RuleId::WallClock,
+        RuleId::EnvRead,
+        RuleId::PanicDoc,
+        RuleId::Unwrap,
+        RuleId::AttachTrace,
+        RuleId::SweepRoute,
+        RuleId::ErrorMatch,
+        RuleId::WaiverMissingReason,
+        RuleId::UnusedWaiver,
+    ];
+
+    /// The stable string id (used in waivers and JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::HashIter => "hash-iter",
+            RuleId::WallClock => "wall-clock",
+            RuleId::EnvRead => "env-read",
+            RuleId::PanicDoc => "panic-doc",
+            RuleId::Unwrap => "unwrap",
+            RuleId::AttachTrace => "attach-trace",
+            RuleId::SweepRoute => "sweep-route",
+            RuleId::ErrorMatch => "error-match",
+            RuleId::WaiverMissingReason => "waiver-missing-reason",
+            RuleId::UnusedWaiver => "unused-waiver",
+        }
+    }
+
+    /// Parse a waiver id back into a rule. Waiver-meta rules cannot be
+    /// waived, so they don't parse.
+    pub fn from_waiver_str(s: &str) -> Option<RuleId> {
+        Some(match s {
+            "hash-iter" => RuleId::HashIter,
+            "wall-clock" => RuleId::WallClock,
+            "env-read" => RuleId::EnvRead,
+            "panic-doc" => RuleId::PanicDoc,
+            "unwrap" => RuleId::Unwrap,
+            "attach-trace" => RuleId::AttachTrace,
+            "sweep-route" => RuleId::SweepRoute,
+            "error-match" => RuleId::ErrorMatch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a diagnostic was suppressed by a waiver, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaiverStatus {
+    /// No waiver applies: the diagnostic counts against the exit code.
+    None,
+    /// A `// lint: allow(<rule>) — <reason>` waiver suppresses it.
+    Waived,
+}
+
+/// One finding at an exact source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Whether a waiver suppressed it.
+    pub waiver: WaiverStatus,
+}
+
+impl Diagnostic {
+    /// Does this diagnostic count against the exit code?
+    pub fn is_active(&self) -> bool {
+        self.waiver == WaiverStatus::None
+    }
+
+    /// `file:line:col: [rule] message` — the human rendering.
+    pub fn render_text(&self) -> String {
+        let suffix = match self.waiver {
+            WaiverStatus::None => "",
+            WaiverStatus::Waived => " (waived)",
+        };
+        format!(
+            "{}:{}:{}: [{}] {}{}",
+            self.file, self.line, self.col, self.rule, self.message, suffix
+        )
+    }
+
+    /// One JSON object, hand-rolled (the analyzer is dependency-free).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"waived\":{}}}",
+            json_string(&self.file),
+            self.line,
+            self.col,
+            json_string(self.rule.as_str()),
+            json_string(&self.message),
+            self.waiver == WaiverStatus::Waived,
+        )
+    }
+}
+
+/// Render a full report as a JSON document:
+/// `{"diagnostics":[...],"active":N,"waived":M}`.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.render_json());
+    }
+    let active = diags.iter().filter(|d| d.is_active()).count();
+    out.push_str(&format!(
+        "],\"active\":{},\"waived\":{}}}",
+        active,
+        diags.len() - active
+    ));
+    out
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control chars.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip_through_waiver_syntax() {
+        for rule in RuleId::ALL {
+            let parsed = RuleId::from_waiver_str(rule.as_str());
+            if matches!(rule, RuleId::WaiverMissingReason | RuleId::UnusedWaiver) {
+                assert_eq!(parsed, None, "meta rules must not be waivable");
+            } else {
+                assert_eq!(parsed, Some(rule));
+            }
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_counts_active_vs_waived() {
+        let mk = |waiver| Diagnostic {
+            file: "x.rs".into(),
+            line: 1,
+            col: 2,
+            rule: RuleId::HashIter,
+            message: "m".into(),
+            waiver,
+        };
+        let report = render_json_report(&[mk(WaiverStatus::None), mk(WaiverStatus::Waived)]);
+        assert!(report.contains("\"active\":1"));
+        assert!(report.contains("\"waived\":1"));
+        assert!(report.contains("\"rule\":\"hash-iter\""));
+    }
+}

@@ -1,0 +1,473 @@
+//! A minimal Rust lexer: enough token structure for line-oriented
+//! source analysis, with exact line/column positions.
+//!
+//! This is *not* a full implementation of the Rust lexical grammar — it
+//! is the subset the rule passes need to be reliable on this workspace:
+//!
+//! * comments are **kept** as tokens (waivers and `// invariant:`
+//!   annotations live in them), with line comments, doc comments, and
+//!   arbitrarily **nested** block comments distinguished;
+//! * string literals (including **raw strings** `r#"…"#` with any hash
+//!   depth, byte strings, and C strings) and char literals are consumed
+//!   as single tokens so `//` or `HashMap` inside a literal can never
+//!   masquerade as code;
+//! * lifetimes (`'a`) are distinguished from char literals (`'x'`);
+//! * everything else becomes identifier, number, or single-character
+//!   punctuation tokens.
+//!
+//! The lexer never fails: unterminated literals or comments produce a
+//! final token stretching to end of input, which keeps the analyzer
+//! usable on work-in-progress source.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `drain`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String literal of any flavour (plain, raw, byte, C).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment that is *not* a doc comment.
+    LineComment,
+    /// `/* … */` comment (nesting handled) that is not a doc comment.
+    BlockComment,
+    /// `/// …`, `//! …`, `/** … */`, or `/*! … */`.
+    DocComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+        )
+    }
+}
+
+/// Tokenize `src` in full, comments included.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let _ = self.src; // kept for debugging hooks
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c == '"' {
+                self.string(line, col, String::new());
+            } else if c == '\'' {
+                self.lifetime_or_char(line, col);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `///` and `//!` are doc comments; `////…` reverts to plain.
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::LineComment
+            };
+        self.push(kind, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let kind = if (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!")
+        {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        };
+        self.push(kind, text, line, col);
+    }
+
+    /// An identifier — or the prefix of a raw/byte/C string (`r"`,
+    /// `r#"`, `b"`, `br#"`, `c"`, `b'`).
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes end the identifier at `"`/`#`/`'`.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "b" | "br" | "c" | "cr" | "rb", Some('"')) => {
+                return self.string(line, col, text)
+            }
+            ("r" | "br" | "cr" | "rb", Some('#')) if self.raw_string_ahead() => {
+                return self.raw_string(line, col, text)
+            }
+            ("b", Some('\'')) => {
+                // Byte char literal b'x'.
+                text.push('\'');
+                self.bump();
+                self.char_body(&mut text);
+                return self.push(TokenKind::Char, text, line, col);
+            }
+            _ => {}
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    /// After an `r`/`br` prefix, does `#…#"` follow (a raw string), as
+    /// opposed to e.g. `r#ident` (a raw identifier)?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        i > 0 && self.peek(i) == Some('"')
+    }
+
+    /// Raw string with hash fencing: `prefix#…#"…"#…#`.
+    fn raw_string(&mut self, line: u32, col: u32, mut text: String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        text.push('#');
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Plain (escaped) string, with any already-consumed prefix.
+    fn string(&mut self, line: u32, col: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Body of a char literal after the opening quote: consume up to and
+    /// including the closing quote.
+    fn char_body(&mut self, text: &mut String) {
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+    }
+
+    /// `'a` (lifetime) vs `'x'` (char literal): a quote followed by an
+    /// identifier is a lifetime unless a closing quote immediately
+    /// follows the identifier.
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        let mut text = String::from("'");
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some(c) if is_ident_start(c) => {
+                let mut i = 0;
+                while self.peek(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                if self.peek(i) == Some('\'') && i == 1 {
+                    // 'x' — a one-character char literal.
+                    self.char_body(&mut text);
+                    self.push(TokenKind::Char, text, line, col);
+                } else if self.peek(i) == Some('\'') && i > 1 {
+                    // 'abc' is not valid Rust; treat as char-ish blob.
+                    self.char_body(&mut text);
+                    self.push(TokenKind::Char, text, line, col);
+                } else {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        text.push(self.bump().unwrap_or('_'));
+                    }
+                    self.push(TokenKind::Lifetime, text, line, col);
+                }
+            }
+            _ => {
+                // '\n', '0', etc. — a char literal.
+                self.char_body(&mut text);
+                self.push(TokenKind::Char, text, line, col);
+            }
+        }
+    }
+
+    /// Numeric literal: digits, underscores, base prefixes, a fractional
+    /// part (but never a `..` range), exponents, and type suffixes.
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && text.starts_with(|f: char| f.is_ascii_digit())
+                && !text.starts_with("0x")
+            {
+                // Exponent sign: 1e-9.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line, col);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let ts = kinds("let x = 42 + y_2;");
+        assert_eq!(ts[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(ts[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(ts[3], (TokenKind::Num, "42".into()));
+        assert_eq!(ts[5], (TokenKind::Ident, "y_2".into()));
+    }
+
+    #[test]
+    fn positions_are_line_and_column_exact() {
+        let ts = tokenize("a\n  bb\n");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn line_and_doc_comments() {
+        let ts = kinds("// plain\n/// doc\n//! inner\n//// plain again\n");
+        assert_eq!(ts[0].0, TokenKind::LineComment);
+        assert_eq!(ts[1].0, TokenKind::DocComment);
+        assert_eq!(ts[2].0, TokenKind::DocComment);
+        assert_eq!(ts[3].0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* a /* b */ c */ x");
+        assert_eq!(ts[0].0, TokenKind::BlockComment);
+        assert_eq!(ts[0].1, "/* a /* b */ c */");
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let ts = kinds(r#"let s = "// not a comment"; y"#);
+        assert_eq!(ts[3].0, TokenKind::Str);
+        assert_eq!(ts[5], (TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ts = kinds(r###"let s = r#"quote " inside"# ; y"###);
+        assert_eq!(ts[3].0, TokenKind::Str);
+        assert!(ts[3].1.contains("quote"));
+        assert_eq!(ts[5], (TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("&'static str; 'a, '\\n' 'x' b'z'");
+        assert_eq!(ts[1], (TokenKind::Lifetime, "'static".into()));
+        let cs: Vec<_> = ts.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(cs.len(), 3, "{ts:?}");
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let ts = kinds("0..n 1.5 0xff_u64 1e-9");
+        assert_eq!(ts[0], (TokenKind::Num, "0".into()));
+        assert_eq!(ts[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(ts[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(ts[3], (TokenKind::Ident, "n".into()));
+        assert_eq!(ts[4], (TokenKind::Num, "1.5".into()));
+        assert_eq!(ts[5], (TokenKind::Num, "0xff_u64".into()));
+        assert_eq!(ts[6], (TokenKind::Num, "1e-9".into()));
+    }
+
+    #[test]
+    fn unterminated_input_still_tokenizes() {
+        assert_eq!(tokenize("/* open").len(), 1);
+        assert_eq!(tokenize("\"open").len(), 1);
+        assert!(!tokenize("fn main() {").is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! `rampage-analysis` — an offline, dependency-free static analyzer for
+//! the workspace's determinism, panic-discipline, and structural
+//! invariants.
+//!
+//! The analyzer lexes every `.rs` file with its own hand-rolled lexer
+//! (see [`lexer`]) and runs repo-specific rule passes (see [`rules`])
+//! that clippy cannot express: hash-ordered iteration in simulation
+//! crates, wall-clock reads outside the timing allowlist, undocumented
+//! panics, `impl MemorySystem` structure, experiment-file routing, and
+//! exhaustive error matching. Findings can be suppressed site-by-site
+//! with `// lint: allow(<rule>) — <reason>` waivers; a waiver without a
+//! reason or without a matching finding is itself a diagnostic.
+//!
+//! The rule catalog, the waiver syntax, and the timing allowlist policy
+//! are documented in `EXPERIMENTS.md` § Static analysis.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+use rules::StructuralFacts;
+
+/// How a file's path classifies it for rule selection.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Test/bench/example/fixture code: exempt from every rule.
+    pub is_test: bool,
+    /// Library code (crate `src/` trees, minus binaries): panic
+    /// discipline, unwrap, and error-match apply.
+    pub is_lib: bool,
+    /// Determinism-critical simulation path: hash-iter and env-read
+    /// apply.
+    pub sim_path: bool,
+    /// On the timing allowlist: wall-clock reads permitted (sweep-runner
+    /// timing, binaries, benches).
+    pub wall_clock_allowed: bool,
+    /// `experiments/table*.rs` / `fig*.rs`: must route through
+    /// `SweepRunner`.
+    pub sweep_routed: bool,
+}
+
+/// Path prefixes whose contents count as simulation code.
+const SIM_PREFIXES: [&str; 6] = [
+    "crates/cache/src/",
+    "crates/vm/src/",
+    "crates/dram/src/",
+    "crates/trace/src/",
+    "crates/core/src/system/",
+    "crates/core/src/obs/",
+];
+
+/// Individual files that count as simulation code.
+const SIM_FILES: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/metrics.rs"];
+
+/// The timing allowlist: where `Instant::now` is legitimate. The policy
+/// (documented in EXPERIMENTS.md) is that wall-clock may only feed
+/// *reporting* — sweep-runner cell timing, progress callbacks, bench
+/// harnesses, and CLI heartbeats — never simulated state.
+const WALL_CLOCK_ALLOW: [&str; 5] = [
+    "crates/core/src/experiments/runner.rs",
+    "src/bin/",
+    "crates/bench/",
+    "crates/criterion/",
+    "crates/analysis/",
+];
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileClass {
+    let p = rel.replace('\\', "/");
+    let is_fixture = p.contains("fixtures/");
+    let is_test = is_fixture
+        || p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.starts_with("benches/")
+        || p.contains("/benches/")
+        || p.contains("/examples/");
+    let is_bin = p.contains("/bin/")
+        || p == "src/main.rs"
+        || p.ends_with("/src/main.rs")
+        || p.ends_with("build.rs");
+    let in_crate_src = p.starts_with("crates/") && p.contains("/src/");
+    let in_root_src = p.starts_with("src/");
+    let is_lib = !is_test && !is_bin && (in_crate_src || in_root_src);
+    let sim_path = !is_test
+        && (SIM_PREFIXES.iter().any(|pre| p.starts_with(pre)) || SIM_FILES.contains(&p.as_str()));
+    let wall_clock_allowed =
+        is_test || is_bin || WALL_CLOCK_ALLOW.iter().any(|a| p.starts_with(a) || p == *a);
+    let file_name = p.rsplit('/').next().unwrap_or("");
+    let sweep_routed = !is_test
+        && p.contains("experiments/")
+        && (file_name.starts_with("table") || file_name.starts_with("fig"))
+        && file_name.ends_with(".rs");
+    FileClass {
+        is_test,
+        is_lib,
+        sim_path,
+        wall_clock_allowed,
+        sweep_routed,
+    }
+}
+
+/// Analyze a set of in-memory sources (used by the fixture tests): runs
+/// the per-file rules plus the workspace-level structural finalizer.
+pub fn analyze_sources(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let mut facts = StructuralFacts::default();
+    let mut diags = Vec::new();
+    for (rel, text) in files {
+        let class = classify(rel);
+        let (file_diags, file_facts) = rules::analyze_source(rel, &class, text);
+        diags.extend(file_diags);
+        facts.merge(file_facts);
+    }
+    diags.extend(rules::finalize_structural(&facts));
+    sort_diags(&mut diags);
+    diags
+}
+
+/// Analyze one in-memory source with an explicit class (fixture tests).
+pub fn analyze_one(rel: &str, text: &str) -> Vec<Diagnostic> {
+    analyze_sources(&[(rel, text)])
+}
+
+/// Walk the workspace rooted at `root` and analyze every `.rs` file.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut facts = StructuralFacts::default();
+    let mut diags = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let class = classify(&rel);
+        let text = fs::read_to_string(path)?;
+        let (file_diags, file_facts) = rules::analyze_source(&rel, &class, &text);
+        diags.extend(file_diags);
+        facts.merge(file_facts);
+    }
+    diags.extend(rules::finalize_structural(&facts));
+    sort_diags(&mut diags);
+    Ok(diags)
+}
+
+/// Recursively collect `.rs` files, skipping build output, VCS state,
+/// and the analyzer's own lint fixtures. Directory entries are sorted so
+/// the walk (and therefore the report order) is deterministic.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_of_known_paths() {
+        let c = classify("crates/cache/src/classify.rs");
+        assert!(c.sim_path && c.is_lib && !c.is_test && !c.wall_clock_allowed);
+
+        let c = classify("crates/core/src/experiments/runner.rs");
+        assert!(!c.sim_path && c.is_lib && c.wall_clock_allowed);
+
+        let c = classify("crates/core/src/experiments/table3.rs");
+        assert!(c.sweep_routed && c.is_lib && !c.sim_path);
+
+        let c = classify("crates/core/src/experiments/figures.rs");
+        assert!(c.sweep_routed);
+
+        let c = classify("src/bin/repro.rs");
+        assert!(!c.is_lib && c.wall_clock_allowed && !c.is_test);
+
+        let c = classify("tests/runner_golden.rs");
+        assert!(c.is_test && !c.is_lib);
+
+        let c = classify("crates/analysis/tests/fixtures/bad/hash_iter.rs");
+        assert!(c.is_test);
+
+        let c = classify("crates/core/src/system/mod.rs");
+        assert!(c.sim_path && c.is_lib);
+
+        let c = classify("src/lib.rs");
+        assert!(c.is_lib && !c.sim_path);
+    }
+}

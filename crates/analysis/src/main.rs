@@ -1,0 +1,87 @@
+//! `rampage-lint` — standalone entry point for the workspace analyzer.
+//!
+//! Exit codes: 0 = clean (no unwaived diagnostics), 1 = findings,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rampage_analysis::{analyze_workspace, diag, find_workspace_root};
+
+const USAGE: &str = "\
+rampage-lint — static analysis for the rampage workspace
+
+USAGE:
+    cargo run -p rampage-analysis [--] [OPTIONS]
+
+OPTIONS:
+    --json         emit machine-readable JSON diagnostics
+    --root PATH    workspace root (default: nearest [workspace] ancestor)
+    --quiet        suppress per-diagnostic output; summary only
+    -h, --help     show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => cwd,
+            }
+        }
+    };
+
+    let diags = match analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: failed to analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let active = diags.iter().filter(|d| d.is_active()).count();
+    let waived = diags.len() - active;
+    if json {
+        println!("{}", diag::render_json_report(&diags));
+    } else {
+        if !quiet {
+            for d in &diags {
+                println!("{}", d.render_text());
+            }
+        }
+        println!("analysis: {active} finding(s), {waived} waived");
+    }
+    if active == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

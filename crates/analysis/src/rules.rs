@@ -1,0 +1,1042 @@
+//! The rule passes: token-stream lints, waiver resolution, and the
+//! workspace-level structural checks.
+//!
+//! Every pass works on the lexed token stream — there is no type
+//! information, so rules that need types (hash-iter) use a declared-name
+//! heuristic: any binding, field, or parameter whose declaration
+//! mentions `HashMap`/`HashSet` is tracked by name, and iteration-order
+//! methods on those names are flagged.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Diagnostic, RuleId, WaiverStatus};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::FileClass;
+
+/// Macros whose presence in library code demands an `// invariant:`
+/// comment or a `# Panics` doc section.
+const PANIC_MACROS: [&str; 5] = ["panic", "unreachable", "assert", "assert_eq", "assert_ne"];
+
+/// Iteration-order methods that leak hash ordering.
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Methods we hop through when resolving a receiver chain like
+/// `self.map.lock().iter()` back to the field name.
+const RECEIVER_WRAPPERS: [&str; 8] = [
+    "lock",
+    "borrow",
+    "borrow_mut",
+    "read",
+    "write",
+    "as_ref",
+    "as_mut",
+    "get_mut",
+];
+
+/// Error enums whose `match`es must stay exhaustive (no `_ =>` arm).
+const ERROR_ENUMS: [&str; 5] = [
+    "RampageError",
+    "ConfigError",
+    "CacheIoError",
+    "TraceIoError",
+    "DramConfigError",
+];
+
+/// Structural facts one file contributes to the workspace-level
+/// attach-trace check.
+#[derive(Debug, Default)]
+pub struct StructuralFacts {
+    /// `Some(true)` if `trait MemorySystem` declares `attach_trace` with
+    /// a default body; `Some(false)` if it declares it body-less; `None`
+    /// if the trait definition was not seen.
+    pub trait_attach_default: Option<bool>,
+    /// Every `impl MemorySystem for …` block seen.
+    pub impls: Vec<ImplFact>,
+}
+
+/// One `impl MemorySystem for …` block.
+#[derive(Debug)]
+pub struct ImplFact {
+    /// File holding the impl, relative to the workspace root.
+    pub file: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// 1-based column of the `impl` keyword.
+    pub col: u32,
+    /// Whether the block defines `fn attach_trace` itself.
+    pub defines_attach: bool,
+}
+
+impl StructuralFacts {
+    /// Merge facts from another file into this accumulator.
+    pub fn merge(&mut self, other: StructuralFacts) {
+        if self.trait_attach_default.is_none() {
+            self.trait_attach_default = other.trait_attach_default;
+        }
+        self.impls.extend(other.impls);
+    }
+}
+
+/// A parsed `// lint: allow(<rule>) — <reason>` comment.
+struct Waiver {
+    line: u32,
+    col: u32,
+    rule: Option<RuleId>,
+    raw_id: String,
+    has_reason: bool,
+    used: bool,
+}
+
+/// Analyze one file: run every applicable per-file rule, resolve
+/// waivers, and collect structural facts for the workspace finalizer.
+pub fn analyze_source(
+    rel: &str,
+    class: &FileClass,
+    text: &str,
+) -> (Vec<Diagnostic>, StructuralFacts) {
+    let toks = tokenize(text);
+    let mask = test_mask(&toks);
+    let code = Code::new(&toks, &mask);
+    let comments: Vec<&Token> = toks
+        .iter()
+        .zip(mask.iter())
+        .filter(|(t, &m)| t.is_comment() && !m)
+        .map(|(t, _)| t)
+        .collect();
+
+    let mut diags = Vec::new();
+    if class.sim_path && !class.is_test {
+        hash_iter_pass(rel, &code, &mut diags);
+        env_read_pass(rel, &code, &mut diags);
+    }
+    if !class.wall_clock_allowed && !class.is_test {
+        wall_clock_pass(rel, &code, &mut diags);
+    }
+    if class.is_lib && !class.is_test {
+        panic_doc_pass(rel, &toks, &code, &comments, &mut diags);
+        unwrap_pass(rel, &code, &mut diags);
+        error_match_pass(rel, &code, &mut diags);
+    }
+    if class.sweep_routed && !class.is_test {
+        sweep_route_pass(rel, &code, &mut diags);
+    }
+
+    let facts = if class.is_test {
+        StructuralFacts::default()
+    } else {
+        collect_structural(rel, &code)
+    };
+
+    apply_waivers(rel, &comments, &mut diags);
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    (diags, facts)
+}
+
+/// Turn the merged structural facts into diagnostics.
+pub fn finalize_structural(facts: &StructuralFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Only judge impls when the trait definition was actually seen:
+    // without it we cannot know whether a default body exists.
+    if facts.trait_attach_default == Some(false) {
+        for imp in &facts.impls {
+            if !imp.defines_attach {
+                out.push(Diagnostic {
+                    file: imp.file.clone(),
+                    line: imp.line,
+                    col: imp.col,
+                    rule: RuleId::AttachTrace,
+                    message: "impl MemorySystem neither defines nor inherits attach_trace \
+                              (trait declares it without a default body)"
+                        .to_string(),
+                    waiver: WaiverStatus::None,
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream plumbing
+// ---------------------------------------------------------------------------
+
+/// Comment-free, test-mask-free view of the token stream.
+struct Code<'a> {
+    toks: &'a [Token],
+    /// Indices into `toks` of live code tokens, in order.
+    ix: Vec<usize>,
+}
+
+impl<'a> Code<'a> {
+    fn new(toks: &'a [Token], mask: &[bool]) -> Self {
+        let ix = (0..toks.len())
+            .filter(|&i| !toks[i].is_comment() && !mask.get(i).copied().unwrap_or(false))
+            .collect();
+        Code { toks, ix }
+    }
+
+    fn len(&self) -> usize {
+        self.ix.len()
+    }
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.ix.get(i).map(|&orig| &self.toks[orig])
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.tok(i).map(|t| t.kind)
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.tok(i) {
+            Some(t) if t.kind == TokenKind::Ident => Some(t.text.as_str()),
+            _ => None,
+        }
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.ident(i) == Some(s)
+    }
+
+    fn is_punct(&self, i: usize, ch: char) -> bool {
+        matches!(self.tok(i), Some(t) if t.kind == TokenKind::Punct && t.text.starts_with(ch))
+    }
+
+    /// `::` is two consecutive `:` puncts.
+    fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':')
+    }
+
+    fn pos(&self, i: usize) -> (u32, u32) {
+        self.tok(i).map(|t| (t.line, t.col)).unwrap_or((0, 0))
+    }
+}
+
+/// Compute which tokens sit inside `#[cfg(test)]` / `#[test]` items.
+/// The mask covers the attribute itself through the end of the item it
+/// decorates (matching brace or top-level semicolon).
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let at = |ci: usize| -> Option<&Token> { code.get(ci).map(|&i| &toks[i]) };
+    let is_p = |ci: usize, ch: char| -> bool {
+        matches!(at(ci), Some(t) if t.kind == TokenKind::Punct && t.text.starts_with(ch))
+    };
+
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !(is_p(ci, '#') && is_p(ci + 1, '[')) {
+            ci += 1;
+            continue;
+        }
+        // Find the matching `]`.
+        let Some(close) = matching_close(&code, toks, ci + 1, '[', ']') else {
+            break;
+        };
+        let content: Vec<&Token> = ((ci + 2)..close).filter_map(at).collect();
+        if !is_test_attr(&content) {
+            ci = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut p = close + 1;
+        while is_p(p, '#') && is_p(p + 1, '[') {
+            match matching_close(&code, toks, p + 1, '[', ']') {
+                Some(c) => p = c + 1,
+                None => break,
+            }
+        }
+        // Consume the item: to the matching `}` of its first brace, or a
+        // top-level `;`.
+        let mut brace = 0i32;
+        let mut q = p;
+        while q < code.len() {
+            if is_p(q, '{') {
+                brace += 1;
+            } else if is_p(q, '}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if is_p(q, ';') && brace == 0 {
+                break;
+            }
+            q += 1;
+        }
+        let q = q.min(code.len().saturating_sub(1));
+        if let (Some(&a), Some(&b)) = (code.get(ci), code.get(q)) {
+            for m in mask.iter_mut().take(b + 1).skip(a) {
+                *m = true;
+            }
+        }
+        ci = q + 1;
+    }
+    mask
+}
+
+/// Find the code index of the bracket matching `code[open_ci]`.
+fn matching_close(
+    code: &[usize],
+    toks: &[Token],
+    open_ci: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, &orig) in code.iter().enumerate().skip(open_ci) {
+        let t = &toks[orig];
+        if t.kind == TokenKind::Punct {
+            let c = t.text.chars().next()?;
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(off);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Is this attribute content `test`, `cfg(test)`, or a `cfg(all(test, …))`
+/// variant (but never `cfg(not(test))`)?
+fn is_test_attr(content: &[&Token]) -> bool {
+    let idents: Vec<&str> = content
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => content.len() == 1,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+/// Track names declared with `HashMap`/`HashSet` types, then flag
+/// iteration-order methods on them (and `for … in name` loops).
+fn hash_iter_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    let names = hash_typed_names(code);
+    for j in 0..code.len() {
+        // `recv.iter()` and friends.
+        if let Some(m) = code.ident(j) {
+            if HASH_ITER_METHODS.contains(&m) && code.is_punct(j + 1, '(') {
+                if let Some(recv) = receiver_ident(code, j) {
+                    if names.contains(recv.as_str()) {
+                        let (line, col) = code.pos(j);
+                        diags.push(diag(
+                            rel,
+                            line,
+                            col,
+                            RuleId::HashIter,
+                            format!(
+                                "`{m}()` on hash-ordered collection `{recv}` — iteration order is \
+                             nondeterministic; use a BTreeMap/sorted keys or waive with a reason"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // `for pat in [&mut] name {` / `for pat in [&mut] self.name {`.
+        if code.is_ident(j, "for") {
+            if let Some((name, line, col)) = for_loop_hash_target(code, j, &names) {
+                diags.push(diag(
+                    rel,
+                    line,
+                    col,
+                    RuleId::HashIter,
+                    format!(
+                        "for-loop over hash-ordered collection `{name}` — iteration order is \
+                     nondeterministic; use a BTreeMap/sorted keys or waive with a reason"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Collect every name whose declaration mentions `HashMap`/`HashSet`:
+/// `name: …HashMap<…>…` (fields, params, typed lets) and
+/// `let [mut] name = …HashMap::new()…` bindings.
+fn hash_typed_names(code: &Code<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for j in 0..code.len() {
+        // Pattern A: `name : <type…HashMap…>` — stop the type scan at a
+        // delimiter outside all brackets.
+        if let Some(name) = code.ident(j) {
+            if code.is_punct(j + 1, ':')
+                && !code.is_punct(j + 2, ':')
+                && !code.is_punct(j.wrapping_sub(1), ':')
+            {
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                for k in (j + 2)..(j + 2 + 64).min(code.len()) {
+                    if let Some(id) = code.ident(k) {
+                        if id == "HashMap" || id == "HashSet" {
+                            names.insert(name.to_string());
+                            break;
+                        }
+                    } else if code.is_punct(k, '<') {
+                        angle += 1;
+                    } else if code.is_punct(k, '>') && !code.is_punct(k.wrapping_sub(1), '-') {
+                        angle -= 1;
+                        if angle < 0 {
+                            break;
+                        }
+                    } else if code.is_punct(k, '(') {
+                        paren += 1;
+                    } else if code.is_punct(k, ')') {
+                        paren -= 1;
+                        if paren < 0 {
+                            break;
+                        }
+                    } else if angle == 0 && paren == 0 {
+                        let stop = [',', ';', '=', '{', '}'];
+                        if stop.iter().any(|&c| code.is_punct(k, c)) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Pattern B: `let [mut] name = … HashMap/HashSet … ;`
+        if code.is_ident(j, "let") {
+            let mut p = j + 1;
+            if code.is_ident(p, "mut") {
+                p += 1;
+            }
+            if let Some(name) = code.ident(p) {
+                if code.is_punct(p + 1, '=') && !code.is_punct(p + 2, '=') {
+                    for k in (p + 2)..(p + 2 + 128).min(code.len()) {
+                        if code.is_punct(k, ';') {
+                            break;
+                        }
+                        if let Some(id) = code.ident(k) {
+                            if id == "HashMap" || id == "HashSet" {
+                                names.insert(name.to_string());
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Resolve the receiver of a `.method(` call at code index `j` back to a
+/// simple identifier, hopping through `lock()`-style wrappers.
+fn receiver_ident(code: &Code<'_>, mut j: usize) -> Option<String> {
+    loop {
+        if j < 2 || !code.is_punct(j - 1, '.') {
+            return None;
+        }
+        let r = j - 2;
+        match code.kind(r) {
+            Some(TokenKind::Ident) => return code.ident(r).map(str::to_string),
+            Some(TokenKind::Punct) if code.is_punct(r, ')') => {
+                // Walk back to the matching `(` and hop through known
+                // wrapper calls: `map.lock().iter()` → receiver `map`.
+                let mut depth = 0i32;
+                let mut k = r;
+                loop {
+                    if code.is_punct(k, ')') {
+                        depth += 1;
+                    } else if code.is_punct(k, '(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        return None;
+                    }
+                    k -= 1;
+                }
+                match code.ident(k.wrapping_sub(1)) {
+                    Some(callee) if RECEIVER_WRAPPERS.contains(&callee) => {
+                        j = k - 1;
+                    }
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// For a `for` keyword at code index `j`, return the hash-typed loop
+/// target if the loop iterates a tracked name directly.
+fn for_loop_hash_target(
+    code: &Code<'_>,
+    j: usize,
+    names: &BTreeSet<String>,
+) -> Option<(String, u32, u32)> {
+    // Find the `in` keyword (patterns may contain parens/commas).
+    let mut k = j + 1;
+    let limit = (j + 32).min(code.len());
+    while k < limit && !code.is_ident(k, "in") {
+        k += 1;
+    }
+    if !code.is_ident(k, "in") {
+        return None;
+    }
+    let mut p = k + 1;
+    while code.is_punct(p, '&') || code.is_ident(p, "mut") {
+        p += 1;
+    }
+    // Allow a `self.` prefix.
+    if code.is_ident(p, "self") && code.is_punct(p + 1, '.') {
+        p += 2;
+    }
+    let name = code.ident(p)?;
+    // Only a bare name followed by the loop body: method calls on the
+    // name (`name.keys()`) are handled by the method pass.
+    if code.is_punct(p + 1, '{') && names.contains(name) {
+        let (line, col) = code.pos(p);
+        return Some((name.to_string(), line, col));
+    }
+    None
+}
+
+/// Flag `Instant::now` and any `SystemTime` use.
+fn wall_clock_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    for j in 0..code.len() {
+        if code.is_ident(j, "Instant") && code.is_path_sep(j + 1) && code.is_ident(j + 3, "now") {
+            let (line, col) = code.pos(j);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::WallClock,
+                "`Instant::now()` outside the timing allowlist — wall-clock reads are \
+                 nondeterministic; route timing through the sweep runner"
+                    .to_string(),
+            ));
+        }
+        if code.is_ident(j, "SystemTime") {
+            let (line, col) = code.pos(j);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::WallClock,
+                "`SystemTime` outside the timing allowlist — wall-clock reads are \
+                 nondeterministic; route timing through the sweep runner"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Flag `std::env` and `thread::current` in simulation paths.
+fn env_read_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    for j in 0..code.len() {
+        if code.is_ident(j, "std") && code.is_path_sep(j + 1) && code.is_ident(j + 3, "env") {
+            let (line, col) = code.pos(j + 3);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::EnvRead,
+                "`std::env` in a simulation path — environment reads make runs \
+                 host-dependent; plumb configuration through SystemConfig"
+                    .to_string(),
+            ));
+        }
+        if code.is_ident(j, "thread") && code.is_path_sep(j + 1) && code.is_ident(j + 3, "current")
+        {
+            let (line, col) = code.pos(j + 3);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::EnvRead,
+                "`thread::current` in a simulation path — thread identity is \
+                 nondeterministic under a work-stealing pool"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic discipline
+// ---------------------------------------------------------------------------
+
+/// `panic!`/`unreachable!`/`assert!` in library code must sit within 3
+/// lines of an `// invariant:` comment, or inside a fn documented with
+/// `# Panics`.
+fn panic_doc_pass(
+    rel: &str,
+    toks: &[Token],
+    code: &Code<'_>,
+    comments: &[&Token],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Map each fn's body-opening brace (code index) to whether its doc
+    // comment carries a `# Panics` section.
+    let mut fn_body_doc: Vec<(usize, bool)> = Vec::new();
+    for j in 0..code.len() {
+        if !code.is_ident(j, "fn") {
+            continue;
+        }
+        let has_doc = fn_docs_mention_panics(toks, code, j);
+        // The signature ends at the first `{` (body) or `;` (trait decl).
+        for k in (j + 1)..(j + 96).min(code.len()) {
+            if code.is_punct(k, '{') {
+                fn_body_doc.push((k, has_doc));
+                break;
+            }
+            if code.is_punct(k, ';') {
+                break;
+            }
+        }
+    }
+
+    let blocks = comment_blocks(comments);
+    let mut depth = 0i32;
+    let mut frames: Vec<(i32, bool)> = Vec::new(); // (depth after open, has # Panics)
+    let mut body_iter = fn_body_doc.iter().peekable();
+    for j in 0..code.len() {
+        if code.is_punct(j, '{') {
+            depth += 1;
+            if let Some(&&(open_ix, has_doc)) = body_iter.peek() {
+                if open_ix == j {
+                    frames.push((depth, has_doc));
+                    body_iter.next();
+                }
+            }
+        } else if code.is_punct(j, '}') {
+            if matches!(frames.last(), Some(&(d, _)) if d == depth) {
+                frames.pop();
+            }
+            depth -= 1;
+        }
+        let Some(mac) = code.ident(j) else { continue };
+        if !PANIC_MACROS.contains(&mac) || !code.is_punct(j + 1, '!') {
+            continue;
+        }
+        if frames.iter().any(|&(_, has_doc)| has_doc) {
+            continue;
+        }
+        let (line, col) = code.pos(j);
+        // A comment block counts if any of its lines says `invariant:`
+        // and its last line is within 3 lines above the panic site.
+        let documented = blocks
+            .iter()
+            .any(|&(start, end, inv)| inv && line >= start && line <= end + 3);
+        if !documented {
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::PanicDoc,
+                format!(
+                    "`{mac}!` in library code without an `// invariant:` comment or a \
+                 `# Panics` doc section"
+                ),
+            ));
+        }
+    }
+}
+
+/// Coalesce comments on consecutive lines into blocks of
+/// `(first_line, last_line, mentions_invariant)`.
+fn comment_blocks(comments: &[&Token]) -> Vec<(u32, u32, bool)> {
+    let mut blocks: Vec<(u32, u32, bool)> = Vec::new();
+    for c in comments {
+        let end = c.line + c.text.matches('\n').count() as u32;
+        let inv = c.text.contains("invariant:");
+        match blocks.last_mut() {
+            Some(b) if c.line <= b.1 + 1 => {
+                b.1 = end.max(b.1);
+                b.2 |= inv;
+            }
+            _ => blocks.push((c.line, end, inv)),
+        }
+    }
+    blocks
+}
+
+/// Walk back from the `fn` keyword through attributes and qualifiers to
+/// its doc comments; true if any mention `# Panics`.
+fn fn_docs_mention_panics(toks: &[Token], code: &Code<'_>, fn_code_ix: usize) -> bool {
+    let Some(&orig) = code.ix.get(fn_code_ix) else {
+        return false;
+    };
+    let mut i = orig;
+    // Walking backwards: `]`/`)` open an attribute or visibility group,
+    // `[`/`(` close it. Anything inside a group is skipped wholesale.
+    let mut bracket = 0i32;
+    let mut paren = 0i32;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::DocComment if t.text.contains("# Panics") => return true,
+            TokenKind::DocComment | TokenKind::LineComment | TokenKind::BlockComment => {}
+            TokenKind::Punct => {
+                match t.text.chars().next() {
+                    Some(']') => bracket += 1,
+                    Some('[') => bracket -= 1,
+                    Some(')') => paren += 1,
+                    Some('(') => paren -= 1,
+                    // A `;`, `{`, or `}` outside any group ends the
+                    // item above this fn.
+                    Some(';') | Some('{') | Some('}') if bracket == 0 && paren == 0 => {
+                        return false;
+                    }
+                    _ => {}
+                }
+            }
+            TokenKind::Ident if bracket == 0 && paren == 0 => {
+                let q = t.text.as_str();
+                if !matches!(
+                    q,
+                    "pub"
+                        | "crate"
+                        | "in"
+                        | "unsafe"
+                        | "const"
+                        | "async"
+                        | "extern"
+                        | "super"
+                        | "self"
+                        | "default"
+                ) {
+                    return false;
+                }
+            }
+            _ => {} // anything inside an attribute/visibility group
+        }
+    }
+    false
+}
+
+/// `.unwrap()` / `.expect("…")` in library code. `unwrap` must be
+/// zero-arg and `expect`'s first argument must be a string literal —
+/// this keeps a crate's own fallible `fn expect(…) -> Result<…>`
+/// parser methods out of scope.
+fn unwrap_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    for j in 0..code.len() {
+        let Some(m) = code.ident(j) else { continue };
+        if j < 1 || !code.is_punct(j - 1, '.') || !code.is_punct(j + 1, '(') {
+            continue;
+        }
+        let flagged = match m {
+            "unwrap" => code.is_punct(j + 2, ')'),
+            "expect" => code.kind(j + 2) == Some(TokenKind::Str),
+            _ => false,
+        };
+        if flagged {
+            let (line, col) = code.pos(j);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::Unwrap,
+                format!("`.{m}()` in library code — return a typed error instead"),
+            ));
+        }
+    }
+}
+
+/// Wildcard `_ =>` arms in `match`es whose arms pattern-match one of the
+/// workspace's typed error enums.
+fn error_match_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    for j in 0..code.len() {
+        if !code.is_ident(j, "match") {
+            continue;
+        }
+        // The match body is the first `{` outside parens after the
+        // scrutinee expression.
+        let mut paren = 0i32;
+        let mut open = None;
+        for k in (j + 1)..(j + 128).min(code.len()) {
+            if code.is_punct(k, '(') {
+                paren += 1;
+            } else if code.is_punct(k, ')') {
+                paren -= 1;
+            } else if code.is_punct(k, '{') && paren == 0 {
+                open = Some(k);
+                break;
+            } else if code.is_punct(k, ';') && paren == 0 {
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut brace = 1i32;
+        let mut k = open + 1;
+        let mut enum_arm = false;
+        let mut wildcard: Option<usize> = None;
+        while k < code.len() && brace > 0 {
+            if code.is_punct(k, '{') {
+                brace += 1;
+            } else if code.is_punct(k, '}') {
+                brace -= 1;
+            } else if brace == 1 {
+                if let Some(id) = code.ident(k) {
+                    if ERROR_ENUMS.contains(&id) {
+                        enum_arm = true;
+                    }
+                    if id == "_" && code.is_punct(k + 1, '=') && code.is_punct(k + 2, '>') {
+                        wildcard.get_or_insert(k);
+                    }
+                }
+            }
+            k += 1;
+        }
+        if enum_arm {
+            if let Some(w) = wildcard {
+                let (line, col) = code.pos(w);
+                diags.push(diag(
+                    rel,
+                    line,
+                    col,
+                    RuleId::ErrorMatch,
+                    "wildcard `_ =>` arm in a match over a typed error enum — keep \
+                     error matches exhaustive so new variants are handled"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural rules
+// ---------------------------------------------------------------------------
+
+/// `experiments/table*.rs` / `fig*.rs` must route cells through
+/// `SweepRunner` rather than calling the engine directly.
+fn sweep_route_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    for j in 0..code.len() {
+        let Some(id) = code.ident(j) else { continue };
+        if (id == "run_config" || id == "run_config_traced")
+            && code.is_punct(j + 1, '(')
+            && !code.is_ident(j.wrapping_sub(1), "fn")
+        {
+            let (line, col) = code.pos(j);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::SweepRoute,
+                format!(
+                    "direct `{id}(…)` call in a runner-routed experiment file — build Jobs and \
+                 go through SweepRunner::run_batch"
+                ),
+            ));
+        }
+        if id == "Engine" && code.is_path_sep(j + 1) && code.is_ident(j + 3, "new") {
+            let (line, col) = code.pos(j);
+            diags.push(diag(
+                rel,
+                line,
+                col,
+                RuleId::SweepRoute,
+                "direct `Engine::new` in a runner-routed experiment file — build Jobs and \
+                 go through SweepRunner::run_batch"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Record `trait MemorySystem` default-body status and every
+/// `impl MemorySystem for …` block.
+fn collect_structural(rel: &str, code: &Code<'_>) -> StructuralFacts {
+    let mut facts = StructuralFacts::default();
+    for j in 0..code.len() {
+        if code.is_ident(j, "trait") && code.is_ident(j + 1, "MemorySystem") {
+            facts.trait_attach_default = trait_attach_default(code, j);
+        }
+        if code.is_ident(j, "impl") {
+            // `impl [<…>] MemorySystem for Type { … }`
+            let mut saw_name = false;
+            let mut saw_for = false;
+            let mut open = None;
+            for k in (j + 1)..(j + 24).min(code.len()) {
+                if code.is_ident(k, "MemorySystem") && !saw_for {
+                    saw_name = true;
+                } else if code.is_ident(k, "for") {
+                    saw_for = true;
+                } else if code.is_punct(k, '{') {
+                    open = Some(k);
+                    break;
+                } else if code.is_punct(k, ';') {
+                    break;
+                }
+            }
+            let (Some(open), true, true) = (open, saw_name, saw_for) else {
+                continue;
+            };
+            let mut brace = 1i32;
+            let mut k = open + 1;
+            let mut defines = false;
+            while k < code.len() && brace > 0 {
+                if code.is_punct(k, '{') {
+                    brace += 1;
+                } else if code.is_punct(k, '}') {
+                    brace -= 1;
+                } else if code.is_ident(k, "fn") && code.is_ident(k + 1, "attach_trace") {
+                    defines = true;
+                }
+                k += 1;
+            }
+            let (line, col) = code.pos(j);
+            facts.impls.push(ImplFact {
+                file: rel.to_string(),
+                line,
+                col,
+                defines_attach: defines,
+            });
+        }
+    }
+    facts
+}
+
+/// For a `trait MemorySystem` at code index `j`: does its
+/// `fn attach_trace` declaration carry a default body?
+fn trait_attach_default(code: &Code<'_>, j: usize) -> Option<bool> {
+    // Find the trait body.
+    let mut open = None;
+    for k in (j + 1)..(j + 64).min(code.len()) {
+        if code.is_punct(k, '{') {
+            open = Some(k);
+            break;
+        }
+    }
+    let open = open?;
+    let mut brace = 1i32;
+    let mut k = open + 1;
+    while k < code.len() && brace > 0 {
+        if code.is_punct(k, '{') {
+            brace += 1;
+        } else if code.is_punct(k, '}') {
+            brace -= 1;
+        } else if brace == 1 && code.is_ident(k, "fn") && code.is_ident(k + 1, "attach_trace") {
+            // Default body iff a `{` comes before the next `;`.
+            for m in (k + 2)..(k + 96).min(code.len()) {
+                if code.is_punct(m, '{') {
+                    return Some(true);
+                }
+                if code.is_punct(m, ';') {
+                    return Some(false);
+                }
+            }
+            return Some(false);
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// Parse waivers out of the comments, suppress matching diagnostics on
+/// the waiver's line or the line below it, and report malformed or
+/// unused waivers.
+fn apply_waivers(rel: &str, comments: &[&Token], diags: &mut Vec<Diagnostic>) {
+    // Doc comments never carry waivers: prose *describing* the waiver
+    // syntax (like the analyzer's own docs) must not act as one.
+    let mut waivers: Vec<Waiver> = comments
+        .iter()
+        .filter(|c| c.kind != TokenKind::DocComment)
+        .filter_map(|c| parse_waiver(c))
+        .collect();
+    for d in diags.iter_mut() {
+        for w in waivers.iter_mut() {
+            let lines_match = w.line == d.line || w.line + 1 == d.line;
+            if w.has_reason && w.rule == Some(d.rule) && lines_match {
+                d.waiver = WaiverStatus::Waived;
+                w.used = true;
+                break;
+            }
+        }
+    }
+    for w in &waivers {
+        if !w.has_reason {
+            diags.push(diag(
+                rel,
+                w.line,
+                w.col,
+                RuleId::WaiverMissingReason,
+                format!(
+                    "waiver `lint: allow({})` has no reason — append `— <why this is safe>`",
+                    w.raw_id
+                ),
+            ));
+        } else if w.rule.is_none() {
+            diags.push(diag(
+                rel,
+                w.line,
+                w.col,
+                RuleId::UnusedWaiver,
+                format!("waiver names unknown rule `{}`", w.raw_id),
+            ));
+        } else if !w.used {
+            diags.push(diag(
+                rel,
+                w.line,
+                w.col,
+                RuleId::UnusedWaiver,
+                format!(
+                    "waiver `lint: allow({})` matched no diagnostic on this or the next line",
+                    w.raw_id
+                ),
+            ));
+        }
+    }
+}
+
+/// Parse one comment as a waiver: `lint: allow(<id>) — <reason>`.
+fn parse_waiver(c: &Token) -> Option<Waiver> {
+    let text = &c.text;
+    let lint_at = text.find("lint:")?;
+    let rest = &text[lint_at + 5..];
+    let allow_at = rest.find("allow(")?;
+    let after = &rest[allow_at + 6..];
+    let close = after.find(')')?;
+    let raw_id = after[..close].trim().to_string();
+    let reason = after[close + 1..]
+        .trim_start_matches(|ch: char| ch.is_whitespace() || matches!(ch, '—' | '–' | '-' | ':'));
+    Some(Waiver {
+        line: c.line,
+        col: c.col,
+        rule: RuleId::from_waiver_str(&raw_id),
+        raw_id,
+        has_reason: !reason.trim().is_empty(),
+        used: false,
+    })
+}
+
+fn diag(rel: &str, line: u32, col: u32, rule: RuleId, message: String) -> Diagnostic {
+    Diagnostic {
+        file: rel.to_string(),
+        line,
+        col,
+        rule,
+        message,
+        waiver: WaiverStatus::None,
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: the trait declares `attach_trace` without a default body and
+// the impl neither defines nor inherits it. Never compiled.
+pub trait MemorySystem {
+    fn access(&mut self, addr: u64) -> u64;
+    fn attach_trace(&mut self, sink: usize);
+}
+
+pub struct Flat;
+
+impl MemorySystem for Flat {
+    fn access(&mut self, addr: u64) -> u64 {
+        addr
+    }
+}

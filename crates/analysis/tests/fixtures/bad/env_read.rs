@@ -1,0 +1,12 @@
+// Fixture: environment and thread-identity reads in a simulation path.
+// Never compiled.
+pub fn seed_from_env() -> u64 {
+    match std::env::var("RAMPAGE_SEED") {
+        Ok(v) => v.len() as u64,
+        Err(_) => 0,
+    }
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,13 @@
+// Fixture: a wildcard arm in a match over a typed error enum. Never
+// compiled.
+pub enum ConfigError {
+    EmptyTlb,
+    ZeroCapacity,
+}
+
+pub fn describe(e: &ConfigError) -> &'static str {
+    match e {
+        ConfigError::EmptyTlb => "empty TLB",
+        _ => "other",
+    }
+}

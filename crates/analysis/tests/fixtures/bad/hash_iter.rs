@@ -1,0 +1,19 @@
+// Fixture: hash-ordered iteration in a simulation path (analyzed under
+// a crates/vm/src/ relative path). Never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub fn sum(m: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (k, v) in m.iter() {
+        total += k + v;
+    }
+    total
+}
+
+pub fn drain_all(set: HashSet<u64>) -> u64 {
+    let mut total = 0;
+    for x in set {
+        total += x;
+    }
+    total
+}

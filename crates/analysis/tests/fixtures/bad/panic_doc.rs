@@ -1,0 +1,7 @@
+// Fixture: an undocumented panic in library code. Never compiled.
+pub fn half(x: u64) -> u64 {
+    if x % 2 != 0 {
+        panic!("odd input {x}");
+    }
+    x / 2
+}

@@ -1,0 +1,10 @@
+// Fixture: an experiments/table*.rs file that bypasses the SweepRunner,
+// calling the engine helpers directly. Never compiled.
+pub fn run(sizes: &[u64]) -> Vec<u64> {
+    sizes.iter().map(|&s| run_config(s)).collect()
+}
+
+pub fn run_one() -> u64 {
+    let eng = Engine::new(512);
+    eng.finish()
+}

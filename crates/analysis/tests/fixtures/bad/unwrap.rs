@@ -1,0 +1,8 @@
+// Fixture: unwrap/expect in library code. Never compiled.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("a number")
+}

@@ -1,0 +1,8 @@
+// Fixture: a waiver without a reason suppresses nothing and is itself a
+// finding. Never compiled.
+use std::collections::HashMap;
+
+pub fn sum(m: &HashMap<u64, u64>) -> u64 {
+    // lint: allow(hash-iter)
+    m.values().sum()
+}

@@ -1,0 +1,6 @@
+// Fixture: a wall-clock read outside the timing allowlist. Never
+// compiled.
+pub fn now_ps() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

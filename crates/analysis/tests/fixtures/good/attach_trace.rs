@@ -1,0 +1,14 @@
+// Fixture: the trait carries a default `attach_trace` body, so a bare
+// impl inherits it. Never compiled.
+pub trait MemorySystem {
+    fn access(&mut self, addr: u64) -> u64;
+    fn attach_trace(&mut self, _sink: usize) {}
+}
+
+pub struct Flat;
+
+impl MemorySystem for Flat {
+    fn access(&mut self, addr: u64) -> u64 {
+        addr
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: no default body in the trait, but the impl defines
+// `attach_trace` itself. Never compiled.
+pub trait MemorySystem {
+    fn access(&mut self, addr: u64) -> u64;
+    fn attach_trace(&mut self, sink: usize);
+}
+
+pub struct Flat {
+    sink: usize,
+}
+
+impl MemorySystem for Flat {
+    fn access(&mut self, addr: u64) -> u64 {
+        addr
+    }
+
+    fn attach_trace(&mut self, sink: usize) {
+        self.sink = sink;
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: configuration plumbed explicitly instead of read from the
+// host environment. Never compiled.
+pub struct Seed(pub u64);
+
+pub fn workload_seed(cfg_seed: Seed) -> u64 {
+    cfg_seed.0
+}

@@ -1,0 +1,20 @@
+// Fixture: error matches stay exhaustive; wildcards over non-error
+// types are fine. Never compiled.
+pub enum ConfigError {
+    EmptyTlb,
+    ZeroCapacity,
+}
+
+pub fn describe(e: &ConfigError) -> &'static str {
+    match e {
+        ConfigError::EmptyTlb => "empty TLB",
+        ConfigError::ZeroCapacity => "zero capacity",
+    }
+}
+
+pub fn class(byte: u8) -> u8 {
+    match byte {
+        0 => 0,
+        _ => 1,
+    }
+}

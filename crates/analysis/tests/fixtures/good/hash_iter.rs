@@ -1,0 +1,15 @@
+// Fixture: ordered iteration and order-free hash lookups — nothing to
+// flag in a simulation path. Never compiled.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sum(m: &BTreeMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (k, v) in m.iter() {
+        total += k + v;
+    }
+    total
+}
+
+pub fn lookup(table: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    table.get(&k).copied()
+}

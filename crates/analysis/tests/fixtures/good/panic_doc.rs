@@ -1,0 +1,19 @@
+// Fixture: panics covered by a `# Panics` doc section and by an
+// `// invariant:` comment. Never compiled.
+
+/// Halve an even number.
+///
+/// # Panics
+///
+/// Panics when `x` is odd.
+pub fn half(x: u64) -> u64 {
+    assert!(x % 2 == 0);
+    x / 2
+}
+
+pub fn quarter(x: u64) -> u64 {
+    // invariant: callers pre-check divisibility by 4; a remainder here
+    // is a caller bug, not recoverable state.
+    assert_eq!(x % 4, 0);
+    x / 4
+}

@@ -1,0 +1,6 @@
+// Fixture: an experiments/table*.rs file that routes its cells through
+// the SweepRunner. Never compiled.
+pub fn run(runner: &SweepRunner, jobs: &[Job]) -> Vec<u64> {
+    runner.run_batch(jobs);
+    Vec::new()
+}

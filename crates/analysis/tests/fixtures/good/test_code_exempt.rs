@@ -1,0 +1,17 @@
+// Fixture: `#[cfg(test)]` items are exempt from every rule even in a
+// library file. Never compiled.
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        assert_eq!(double(2), 4);
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: a crate's own fallible `expect` parser method and
+// `unwrap_or` are out of scope. Never compiled.
+pub struct Reader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Reader {
+    pub fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.data.get(self.pos) {
+            Some(&b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(format!("wanted {want}")),
+        }
+    }
+
+    pub fn demand(&mut self, want: u8) -> Result<(), String> {
+        self.expect(want)
+    }
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+// Fixture: a reasoned waiver suppresses the finding on the next line.
+// Never compiled.
+use std::collections::HashMap;
+
+pub fn sum(m: &HashMap<u64, u64>) -> u64 {
+    // lint: allow(hash-iter) — summation is order-independent
+    m.values().sum()
+}

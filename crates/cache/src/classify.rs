@@ -11,7 +11,7 @@ use crate::addr::PhysAddr;
 use crate::cache::Cache;
 use crate::geometry::Geometry;
 use crate::policy::ReplacementPolicy;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The class of one miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +60,11 @@ impl MissProfile {
 /// fully-associative LRU cache of equal capacity (capacity detection),
 /// tracked as a timestamped map.
 ///
+/// The LRU shadow is a dual index: `shadow` answers membership, and
+/// `by_stamp` orders blocks by last touch so eviction takes the true
+/// oldest in O(log n) — with no dependence on hash iteration order
+/// (stamps are unique, so the BTreeMap ordering is total).
+///
 /// Use this directly to classify an existing cache's misses (the
 /// simulator's conventional system does, when diagnosis is enabled), or
 /// via [`MissClassifier`] for a self-contained cache-plus-classifier.
@@ -70,6 +75,9 @@ pub struct ShadowTracker {
     seen: HashSet<u64>,
     /// Fully-associative LRU shadow: block number → last-touch stamp.
     shadow: HashMap<u64, u64>,
+    /// Mirror of `shadow` keyed by stamp: the first entry is the LRU
+    /// block.
+    by_stamp: BTreeMap<u64, u64>,
     capacity: usize,
     stamp: u64,
     profile: MissProfile,
@@ -88,6 +96,7 @@ impl ShadowTracker {
             block_size,
             seen: HashSet::new(),
             shadow: HashMap::new(),
+            by_stamp: BTreeMap::new(),
             capacity,
             stamp: 0,
             profile: MissProfile::default(),
@@ -99,12 +108,19 @@ impl ShadowTracker {
     pub fn observe(&mut self, addr: PhysAddr, real_hit: bool) -> Option<MissClass> {
         let block = addr.block_number(self.block_size);
         self.stamp += 1;
-        let shadow_hit = self.shadow.contains_key(&block);
-        self.shadow.insert(block, self.stamp);
+        let prev_stamp = self.shadow.insert(block, self.stamp);
+        let shadow_hit = prev_stamp.is_some();
+        if let Some(old) = prev_stamp {
+            self.by_stamp.remove(&old);
+        }
+        self.by_stamp.insert(self.stamp, block);
         if !shadow_hit && self.shadow.len() > self.capacity {
-            // The shadow just received an insert, so a minimum exists.
-            if let Some(oldest) = self.shadow.iter().min_by_key(|(_, &s)| s).map(|(&b, _)| b) {
-                self.shadow.remove(&oldest);
+            // The first by_stamp entry is the least-recently-touched
+            // block; evicting through it keeps the shadow exact without
+            // ever walking the hash map.
+            if let Some((&oldest_stamp, &oldest_block)) = self.by_stamp.first_key_value() {
+                self.by_stamp.remove(&oldest_stamp);
+                self.shadow.remove(&oldest_block);
             }
         }
         if real_hit {

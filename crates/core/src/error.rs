@@ -272,7 +272,10 @@ impl std::error::Error for CacheIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CacheIoError::Io(e) => Some(e),
-            _ => None,
+            CacheIoError::Parse(_)
+            | CacheIoError::BadHeader(_)
+            | CacheIoError::VersionMismatch { .. }
+            | CacheIoError::BadChecksum { .. } => None,
         }
     }
 }

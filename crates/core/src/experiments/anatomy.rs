@@ -50,6 +50,8 @@ pub fn run(workload: &Workload, issue: IssueRate, sizes: &[u64]) -> Anatomy {
             let out = Engine::new(&cfg, workload.sources()).run();
             let ways = match cfg.hierarchy {
                 crate::config::HierarchyKind::Conventional(l2) => l2.ways,
+                // invariant: anatomy only sweeps two_way presets, which
+                // always build a Conventional hierarchy.
                 crate::config::HierarchyKind::Rampage(_) => unreachable!("conventional only"),
             };
             cells.push(AnatomyCell {

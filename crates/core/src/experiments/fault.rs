@@ -8,12 +8,49 @@
 //! save can be torn mid-write (exercising quarantine-and-rebuild on the
 //! next load).
 //!
-//! Injection state is process-global; tests that arm it must serialize
-//! with each other and call [`reset`] when done.
+//! Injection state is process-global. Tests must hold an
+//! [`InjectionScope`] while armed: the scope serializes tests against
+//! each other and guarantees a disarmed state on entry and on drop (even
+//! across a failed assertion), so `cargo test` parallelism can never
+//! cross-contaminate armed state between tests.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Exclusive, self-cleaning access to the process-global injection
+/// state (this module's cell panics and torn saves, plus the trace
+/// crate's corrupt-record hook, which the `fault` feature enables
+/// together).
+///
+/// Acquiring blocks until no other scope is alive, then disarms
+/// everything; dropping disarms again. Arm faults only while holding a
+/// scope.
+#[derive(Debug)]
+pub struct InjectionScope {
+    _lock: MutexGuard<'static, ()>,
+}
+
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+impl InjectionScope {
+    /// Block until exclusive, then start from a disarmed state.
+    pub fn acquire() -> Self {
+        // A poisoned lock just means another test failed while holding
+        // the scope; its Drop already disarmed, and we re-disarm anyway.
+        let lock = SCOPE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset();
+        rampage_trace::fault::disarm();
+        InjectionScope { _lock: lock }
+    }
+}
+
+impl Drop for InjectionScope {
+    fn drop(&mut self) {
+        reset();
+        rampage_trace::fault::disarm();
+    }
+}
 
 fn cell_panics() -> MutexGuard<'static, HashMap<u64, u32>> {
     static MAP: OnceLock<Mutex<HashMap<u64, u32>>> = OnceLock::new();
@@ -46,6 +83,7 @@ pub(crate) fn cell_panic_point(fp: u64) {
         }
     };
     if fire {
+        // lint: allow(panic-doc) — the injected fault IS the deliberate panic; the runner's catch_unwind boundary records it
         panic!("injected fault: cell {fp:#018x}");
     }
 }

@@ -179,6 +179,8 @@ fn render_bars(bars: &[Bar]) -> String {
                 .map(|(i, f)| (i, f * WIDTH as f64 - cells[i] as f64))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
             else {
+                // invariant: fracs is a fixed five-element array, so
+                // max_by over it always yields an element.
                 unreachable!("fracs is a fixed five-element array");
             };
             cells[imax] += 1;

@@ -29,6 +29,7 @@ pub mod ablations;
 pub mod anatomy;
 pub mod fig5;
 pub mod figures;
+pub mod grids;
 pub mod per_benchmark;
 pub mod table1;
 pub mod table2;

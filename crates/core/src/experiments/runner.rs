@@ -33,8 +33,8 @@ use crate::config::SystemConfig;
 use crate::error::{CacheIoError, InvariantError, RampageError};
 use crate::experiments::common::{run_config, Cell, Workload};
 use rampage_json::{obj, Json, ToJson};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -96,8 +96,10 @@ fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct CacheLoad {
     /// Cells loaded into the cache.
     pub loaded: usize,
-    /// Entries skipped for a bad checksum or undecodable body.
-    pub skipped: usize,
+    /// One typed error per entry skipped: [`CacheIoError::BadChecksum`]
+    /// for bit rot, [`CacheIoError::BadHeader`] for a malformed entry,
+    /// [`CacheIoError::Parse`] for an undecodable cell body.
+    pub entry_errors: Vec<CacheIoError>,
     /// Where the on-disk file was moved if it was quarantined.
     pub quarantined: Option<PathBuf>,
     /// The whole-file error, when the envelope itself was unusable.
@@ -107,14 +109,22 @@ pub struct CacheLoad {
 impl CacheLoad {
     /// Whether the load was entirely clean (including the cold start).
     pub fn is_clean(&self) -> bool {
-        self.skipped == 0 && self.quarantined.is_none() && self.error.is_none()
+        self.entry_errors.is_empty() && self.quarantined.is_none() && self.error.is_none()
+    }
+
+    /// Entries skipped for a bad checksum or undecodable body.
+    pub fn skipped(&self) -> usize {
+        self.entry_errors.len()
     }
 
     /// One-line human summary for the `repro` log.
     pub fn describe(&self) -> String {
         let mut s = format!("loaded {} cached cell(s)", self.loaded);
-        if self.skipped > 0 {
-            s.push_str(&format!(", skipped {} corrupt", self.skipped));
+        if let Some(first) = self.entry_errors.first() {
+            s.push_str(&format!(
+                ", skipped {} corrupt (first: {first})",
+                self.entry_errors.len()
+            ));
         }
         if let Some(e) = &self.error {
             s.push_str(&format!("; cache unusable ({e})"));
@@ -143,9 +153,14 @@ fn quarantine(path: &Path) -> Option<PathBuf> {
 /// `hits` counts every lookup served without simulation (including
 /// duplicates deduplicated within one batch); `computed` counts cells
 /// actually simulated.
+///
+/// Keyed by a `BTreeMap` so every walk over the cache (serialization,
+/// reporting) is fingerprint-ordered by construction — the static
+/// analyzer's hash-iter rule is about exactly this class of ordering
+/// leak.
 #[derive(Debug, Default)]
 pub struct CellCache {
-    map: Mutex<HashMap<u64, Cell>>,
+    map: Mutex<BTreeMap<u64, Cell>>,
     hits: AtomicU64,
     computed: AtomicU64,
 }
@@ -196,14 +211,14 @@ impl CellCache {
         self.len() == 0
     }
 
-    /// Serialize every entry (sorted by fingerprint — deterministic).
+    /// Serialize every entry (fingerprint-ordered — the map itself is
+    /// ordered, so serialization is deterministic by construction).
     /// Each entry carries an FNV-1a checksum of its compact cell body,
     /// so single-entry bit rot is detected at load time.
     pub fn to_json(&self) -> Json {
         let map = lock_recovering(&self.map);
-        let mut entries: Vec<(u64, Cell)> = map.iter().map(|(&fp, &c)| (fp, c)).collect();
+        let entries: Vec<(u64, Cell)> = map.iter().map(|(&fp, &c)| (fp, c)).collect();
         drop(map);
-        entries.sort_by_key(|&(fp, _)| fp);
         obj! {
             "version" => CACHE_FORMAT_VERSION,
             "cells" => entries
@@ -219,8 +234,9 @@ impl CellCache {
 
     /// Load entries from a serialized cache document.
     ///
-    /// Returns `(loaded, skipped)`: entries whose checksum or shape is
-    /// wrong are skipped individually, so one rotten entry does not
+    /// Returns `(loaded, entry_errors)`: entries whose checksum or shape
+    /// is wrong are skipped individually — each with a typed
+    /// [`CacheIoError`] saying why — so one rotten entry does not
     /// discard its neighbours.
     ///
     /// # Errors
@@ -228,7 +244,7 @@ impl CellCache {
     /// [`CacheIoError::BadHeader`] when the envelope is not this format;
     /// [`CacheIoError::VersionMismatch`] for any other version (stale
     /// fingerprints must not serve wrong cells).
-    pub fn load_json(&self, doc: &Json) -> Result<(usize, usize), CacheIoError> {
+    pub fn load_json(&self, doc: &Json) -> Result<(usize, Vec<CacheIoError>), CacheIoError> {
         let Some(version) = doc.get("version").and_then(Json::as_u64) else {
             return Err(CacheIoError::BadHeader("missing or non-integer version"));
         };
@@ -242,28 +258,30 @@ impl CellCache {
             return Err(CacheIoError::BadHeader("missing cells array"));
         };
         let mut loaded = 0;
-        let mut skipped = 0;
+        let mut entry_errors = Vec::new();
         for entry in cells {
             let (Some(fp), Some(sum), Some(body)) = (
                 entry.get("fp").and_then(Json::as_u64),
                 entry.get("sum").and_then(Json::as_u64),
                 entry.get("cell"),
             ) else {
-                skipped += 1;
+                entry_errors.push(CacheIoError::BadHeader("entry missing fp/sum/cell"));
                 continue;
             };
             if fnv1a(body.compact().as_bytes()) != sum {
-                skipped += 1;
+                entry_errors.push(CacheIoError::BadChecksum { fp });
                 continue;
             }
             let Some(cell) = Cell::from_json(body) else {
-                skipped += 1;
+                entry_errors.push(CacheIoError::Parse(format!(
+                    "cell {fp:#018x} body undecodable"
+                )));
                 continue;
             };
             self.seed(fp, cell);
             loaded += 1;
         }
-        Ok((loaded, skipped))
+        Ok((loaded, entry_errors))
     }
 
     /// Persist to `path` as JSON, atomically: the document is written to
@@ -326,13 +344,13 @@ impl CellCache {
         };
         let parsed = Json::parse(&text).map_err(|e| CacheIoError::Parse(e.to_string()));
         match parsed.and_then(|doc| self.load_json(&doc)) {
-            Ok((loaded, 0)) => CacheLoad {
+            Ok((loaded, entry_errors)) if entry_errors.is_empty() => CacheLoad {
                 loaded,
                 ..CacheLoad::default()
             },
-            Ok((loaded, skipped)) => CacheLoad {
+            Ok((loaded, entry_errors)) => CacheLoad {
                 loaded,
-                skipped,
+                entry_errors,
                 quarantined: quarantine(path),
                 error: None,
             },
@@ -748,6 +766,7 @@ impl SweepRunner {
     pub fn run_one(&self, cfg: &SystemConfig, workload: &Workload) -> Cell {
         let mut cells = self.run_batch(&[Job::new(*cfg, *workload)]);
         let Some(cell) = cells.pop() else {
+            // invariant: run_batch returns exactly one cell per job.
             unreachable!("run_batch returns one cell per job");
         };
         cell
@@ -763,8 +782,9 @@ impl SweepRunner {
         let mut slots: Vec<Option<Cell>> = vec![None; jobs.len()];
         // First occurrence of each uncached fingerprint, in order.
         let mut pending: Vec<(u64, Job)> = Vec::new();
-        // fingerprint -> slots awaiting it.
-        let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+        // fingerprint -> slots awaiting it. Ordered so any walk over the
+        // waiters (now or under future refactors) stays deterministic.
+        let mut waiters: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
         let mut cached = 0usize;
         for (i, job) in jobs.iter().enumerate() {
             let fp = job.fingerprint();
@@ -819,6 +839,8 @@ impl SweepRunner {
             .into_iter()
             .map(|c| match c {
                 Some(cell) => cell,
+                // invariant: the cache-fill and compute loops above
+                // populate every slot, including failed ones.
                 None => unreachable!("every slot is cached, computed, or failed"),
             })
             .collect()
@@ -984,7 +1006,8 @@ mod tests {
         let doc = runner.cache().to_json();
 
         let fresh = CellCache::new();
-        assert_eq!(fresh.load_json(&doc).expect("clean load"), (jobs.len(), 0));
+        let (loaded, errors) = fresh.load_json(&doc).expect("clean load");
+        assert_eq!((loaded, errors.len()), (jobs.len(), 0));
         for (job, cell) in jobs.iter().zip(&cells) {
             assert_eq!(fresh.get(job.fingerprint()), Some(*cell));
         }
@@ -992,10 +1015,8 @@ mod tests {
         // The JSON text itself roundtrips (checksums included).
         let reparsed = Json::parse(&doc.pretty()).expect("valid JSON");
         let fresh2 = CellCache::new();
-        assert_eq!(
-            fresh2.load_json(&reparsed).expect("clean load"),
-            (jobs.len(), 0)
-        );
+        let (loaded2, errors2) = fresh2.load_json(&reparsed).expect("clean load");
+        assert_eq!((loaded2, errors2.len()), (jobs.len(), 0));
         assert_eq!(fresh2.get(jobs[0].fingerprint()), Some(cells[0]));
     }
 
@@ -1026,8 +1047,11 @@ mod tests {
         let text = doc.pretty().replacen("\"sum\":", "\"sum\": 1, \"was\":", 1);
         let tampered = Json::parse(&text).expect("still JSON");
         let fresh = CellCache::new();
-        let (loaded, skipped) = fresh.load_json(&tampered).expect("envelope still valid");
-        assert_eq!(skipped, 1, "the tampered entry is dropped");
+        let (loaded, errors) = fresh.load_json(&tampered).expect("envelope still valid");
+        assert!(
+            matches!(errors.as_slice(), [CacheIoError::BadChecksum { .. }]),
+            "the tampered entry is dropped with a typed checksum error: {errors:?}"
+        );
         assert_eq!(loaded, jobs.len() - 1, "its neighbours survive");
     }
 

@@ -103,6 +103,7 @@ impl Conventional {
     /// The DRAM page size used for translation.
     fn dram_page(&self) -> PageSize {
         let Some(p) = PageSize::new(DRAM_PAGE_SIZE) else {
+            // invariant: DRAM_PAGE_SIZE is a power-of-two constant.
             unreachable!("DRAM_PAGE_SIZE is a valid power-of-two constant");
         };
         p
@@ -296,8 +297,8 @@ impl Conventional {
     /// block is written back to L2. Returns stall cycles.
     fn stash_victim(&mut self, ev: rampage_cache::Eviction, m: &mut Metrics) -> u64 {
         let Some(vc) = self.victim.as_mut() else {
-            // stash_victim is only called after the caller checked that a
-            // victim buffer is configured.
+            // invariant: stash_victim is only called after the caller
+            // checked that a victim buffer is configured.
             unreachable!("stash_victim requires a configured victim buffer");
         };
         let mut stall = 0;
@@ -360,6 +361,7 @@ impl Conventional {
                 // sweep runner converts it into a recorded FailedCell).
                 let f = match self.page_table.alloc_free() {
                     Some(f) => f,
+                    // lint: allow(panic-doc) — deliberate actionable panic; the sweep runner converts it into a recorded FailedCell
                     None => panic!(
                         "DRAM frame space exhausted ({} frames of {} bytes); raise DRAM_FRAMES",
                         DRAM_FRAMES, DRAM_PAGE_SIZE

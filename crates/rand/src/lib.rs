@@ -89,6 +89,10 @@ pub trait UniformSample: Sized {
 
 /// Debiased uniform integer in `[0, n)` via Lemire's method's simple
 /// rejection variant (modulo with rejection of the biased zone).
+///
+/// # Panics
+///
+/// Panics if `n` is zero (an empty range cannot be sampled).
 fn uniform_below<G: Rng + ?Sized>(rng: &mut G, n: u64) -> u64 {
     assert!(n > 0, "empty range");
     if n.is_power_of_two() {
@@ -108,6 +112,7 @@ macro_rules! impl_uniform_int {
     ($($t:ty),*) => {$(
         impl UniformSample for $t {
             fn sample_range<G: Rng + ?Sized>(rng: &mut G, range: std::ops::Range<Self>) -> Self {
+                // invariant: sampling an empty range is a caller bug.
                 assert!(range.start < range.end, "empty range");
                 let span = (range.end as i128 - range.start as i128) as u64;
                 range.start.wrapping_add(uniform_below(rng, span) as $t)
@@ -120,6 +125,7 @@ impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl UniformSample for f64 {
     fn sample_range<G: Rng + ?Sized>(rng: &mut G, range: std::ops::Range<Self>) -> Self {
+        // invariant: sampling an empty range is a caller bug.
         assert!(range.start < range.end, "empty range");
         let u: f64 = Standard::sample(rng);
         range.start + u * (range.end - range.start)

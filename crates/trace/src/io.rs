@@ -46,7 +46,7 @@ impl std::error::Error for TraceIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceIoError::Io(e) => Some(e),
-            _ => None,
+            TraceIoError::Malformed(..) | TraceIoError::BadMagic => None,
         }
     }
 }

@@ -149,6 +149,8 @@ impl InvertedPageTable {
             probe_addrs.push(self.entry_addr(f));
             let slot = &mut self.slots[f.0 as usize];
             let Some(m) = slot.mapping.as_mut() else {
+                // invariant: frames on a collision chain always hold a
+                // mapping; unmapped frames are unlinked on free.
                 unreachable!("IPT invariant: chained frames are always mapped")
             };
             if m.asid == asid && m.vpn == vpn {

@@ -112,6 +112,8 @@ impl Tlb {
         match self.index.get(&(asid, vpn)) {
             Some(&slot) => {
                 let Some(entry) = self.slots[slot] else {
+                    // invariant: the index only points at occupied slots;
+                    // eviction removes the index entry first.
                     unreachable!("TLB invariant: indexed slot {slot} is empty")
                 };
                 self.stats.hits += 1;
@@ -128,6 +130,8 @@ impl Tlb {
     pub fn peek(&self, asid: Asid, vpn: Vpn) -> Option<FrameId> {
         self.index.get(&(asid, vpn)).map(|&slot| {
             let Some(entry) = self.slots[slot] else {
+                // invariant: the index only points at occupied slots;
+                // eviction removes the index entry first.
                 unreachable!("TLB invariant: indexed slot {slot} is empty")
             };
             entry.frame

@@ -20,7 +20,7 @@ cargo clippy --workspace --all-targets --all-features -- -D warnings
 # binaries or rendered reports, never stray println!/eprintln! in a
 # library (criterion is the one exemption — printing results is its
 # job). Tests and benches are exempt (unwrap is the right tool there).
-LIB_CRATES=(rampage-json rand criterion rampage-trace rampage-cache rampage-dram rampage-vm rampage-core)
+LIB_CRATES=(rampage-json rand criterion rampage-trace rampage-cache rampage-dram rampage-vm rampage-core rampage-analysis)
 for crate in "${LIB_CRATES[@]}"; do
   PRINT_DENIES=(-D clippy::print_stdout -D clippy::print_stderr)
   if [[ "${crate}" == "criterion" ]]; then
@@ -34,6 +34,17 @@ done
 
 echo "==> cargo build --release (tier-1)"
 cargo build --release
+
+# The in-tree static analyzer: determinism lints, panic discipline, and
+# structural rules (EXPERIMENTS.md § Static analysis). Hard gate — any
+# unwaived finding fails the build.
+echo "==> repro lint"
+./target/release/repro lint --quiet
+
+# Model-check every experiment preset's sweep grid against
+# SystemConfig::validate(), so a bad preset fails here, not mid-sweep.
+echo "==> repro lint --configs"
+./target/release/repro lint --configs
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q

@@ -8,6 +8,8 @@
 //! repro trace info      --dir DIR
 //! repro trace verify    --dir DIR [--jobs N]
 //! repro trace import-din --dir DIR --name NAME FILE [--block-bytes N]
+//! repro lint [--json] [--quiet] [--root DIR]
+//! repro lint --configs [--json]
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
 //!            ablations perbench diag all
@@ -137,11 +139,16 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--jobs N] [--out DIR] \
 [--trace-dir DIR] [--max-cell-failures N] [--trace-events PATH] [--trace-cap N] \
 <table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...\n\
-       repro trace <record|info|verify|import-din> (see repro trace --help)";
+       repro trace <record|info|verify|import-din> (see repro trace --help)\n\
+       repro lint [--configs] [--json] (see repro lint --help)";
 
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("trace") {
         let code = trace_main(std::env::args().skip(2).collect());
+        std::process::exit(code);
+    }
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        let code = lint_main(std::env::args().skip(2).collect());
         std::process::exit(code);
     }
     let opts = match parse_args() {
@@ -736,5 +743,128 @@ fn trace_main(args: Vec<String>) -> i32 {
             eprintln!("unknown trace subcommand: {other}\n{TRACE_USAGE}");
             2
         }
+    }
+}
+
+const LINT_USAGE: &str = "usage: repro lint [--json] [--quiet] [--root DIR]
+       repro lint --configs [--json]
+
+Runs the workspace static analyzer (rampage-analysis): determinism
+lints, panic discipline, and structural checks over every crate. With
+--configs it instead enumerates every experiment preset's sweep grid
+and runs SystemConfig::validate() on each cell, so a bad preset fails
+at lint time rather than mid-sweep.
+
+exit codes: 0 clean, 1 findings / invalid cells, 2 usage or I/O error";
+
+/// `repro lint`: the analyzer as a first-class subcommand, plus the
+/// `--configs` model-check mode over the preset grids in
+/// [`rampage_core::experiments::grids`].
+fn lint_main(args: Vec<String>) -> i32 {
+    let mut json = false;
+    let mut quiet = false;
+    let mut configs = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--configs" => configs = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(p.into()),
+                None => {
+                    eprintln!("--root needs a path\n{LINT_USAGE}");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{LINT_USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown lint argument: {other}\n{LINT_USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    if configs {
+        return lint_configs(json);
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        rampage_analysis::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("could not locate the workspace root; pass --root DIR");
+        return 2;
+    };
+    let diags = match rampage_analysis::analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint: failed to analyze {}: {e}", root.display());
+            return 2;
+        }
+    };
+    let active = diags.iter().filter(|d| d.is_active()).count();
+    let waived = diags.len() - active;
+    if json {
+        println!("{}", rampage_analysis::diag::render_json_report(&diags));
+    } else {
+        if !quiet {
+            for d in &diags {
+                println!("{}", d.render_text());
+            }
+        }
+        println!("analysis: {active} finding(s), {waived} waived");
+    }
+    if active == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+/// `repro lint --configs`: validate every cell of every preset grid.
+fn lint_configs(json: bool) -> i32 {
+    use rampage_core::experiments::grids;
+
+    let grid_list = grids::preset_grids();
+    let cells: usize = grid_list.iter().map(|g| g.cells.len()).sum();
+    let errors = grids::validate_presets();
+    if json {
+        let errs: Vec<Json> = errors
+            .iter()
+            .map(|e| {
+                obj! {
+                    "grid" => e.grid,
+                    "cell" => e.cell.as_str(),
+                    "error" => e.error.to_string(),
+                }
+            })
+            .collect();
+        let doc = obj! {
+            "presets" => grid_list.len(),
+            "cells" => cells,
+            "invalid" => errors.len(),
+            "errors" => Json::Arr(errs),
+        };
+        println!("{}", doc.pretty());
+    } else {
+        for e in &errors {
+            println!("{e}");
+        }
+        println!(
+            "configs: {} preset grid(s), {cells} cell(s), {} invalid",
+            grid_list.len(),
+            errors.len()
+        );
+    }
+    if errors.is_empty() {
+        0
+    } else {
+        1
     }
 }

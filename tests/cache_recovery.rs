@@ -122,7 +122,15 @@ fn bit_flipped_entry_is_skipped_and_file_quarantined() {
 
     let cache = CellCache::new();
     let load = cache.load_file(&path);
-    assert_eq!(load.skipped, 1, "{}", load.describe());
+    assert_eq!(load.skipped(), 1, "{}", load.describe());
+    assert!(
+        matches!(
+            load.entry_errors.as_slice(),
+            [rampage_core::error::CacheIoError::BadChecksum { .. }]
+        ),
+        "the skip is recorded as a typed checksum error: {}",
+        load.describe()
+    );
     assert_eq!(load.loaded, jobs.len() - 1, "good neighbours survive");
     assert!(load.quarantined.is_some(), "partial rot still quarantines");
     assert_eq!(cache.len(), jobs.len() - 1);

@@ -1,8 +1,9 @@
 //! The fault-injection suite (`cargo test --features fault`): arm a
 //! deterministic fault, run the machinery that should absorb it, and
 //! check the typed failure surfaces exactly where the design says it
-//! does. Injection state is process-global, so every test serializes on
-//! one mutex and disarms on the way out.
+//! does. Injection state is process-global, so every test holds a
+//! [`fault::InjectionScope`] — it serializes tests against each other
+//! and disarms everything on entry and on drop.
 
 #![cfg(feature = "fault")]
 
@@ -12,24 +13,11 @@ use rampage_trace::io::{BinReader, BinWriter, TraceIoError};
 use rampage_trace::{TraceRecord, TraceSource};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Mutex, MutexGuard};
 
-static SERIAL: Mutex<()> = Mutex::new(());
-
-/// Take the global injection lock and start from a disarmed state; the
-/// guard disarms again on drop, even if the test fails.
-fn armed_section() -> impl Drop {
-    struct Guard(#[allow(dead_code)] MutexGuard<'static, ()>);
-    impl Drop for Guard {
-        fn drop(&mut self) {
-            fault::reset();
-            rampage_trace::fault::disarm();
-        }
-    }
-    let g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
-    fault::reset();
-    rampage_trace::fault::disarm();
-    Guard(g)
+/// Every test opens with this: exclusive, disarmed injection state that
+/// re-disarms when the guard drops, even if the test fails.
+fn armed_section() -> fault::InjectionScope {
+    fault::InjectionScope::acquire()
 }
 
 fn scratch(name: &str) -> PathBuf {
@@ -41,6 +29,26 @@ fn scratch(name: &str) -> PathBuf {
     ));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     dir
+}
+
+#[test]
+fn scope_isolates_armed_state_between_tests() {
+    let job = Job::new(
+        SystemConfig::rampage(IssueRate::GHZ1, 512),
+        Workload::quick(),
+    );
+    {
+        let _g = armed_section();
+        // Armed but never fired: a test that bails here must not leak
+        // the armed panic into whoever acquires the scope next.
+        fault::arm_cell_panic(job.fingerprint(), u32::MAX);
+        fault::arm_torn_save(u32::MAX);
+    }
+    let _g = armed_section();
+    let runner = SweepRunner::serial();
+    let cells = runner.run_batch(&[job]);
+    assert!(cells[0].seconds > 0.0, "stale armed state was disarmed");
+    assert_eq!(runner.failure_count(), 0);
 }
 
 #[test]
