@@ -26,6 +26,9 @@ pub enum RuleId {
     SweepRoute,
     /// Wildcard `_ =>` arm in a `match` over a typed error enum.
     ErrorMatch,
+    /// A raw write to a sweep journal (`journal.jsonl`) bypassing the
+    /// checksummed `Journal::append` helper.
+    JournalAppend,
     /// A `// lint: allow(...)` waiver with no `— <reason>` text.
     WaiverMissingReason,
     /// A waiver that matched no diagnostic on its line.
@@ -34,7 +37,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::HashIter,
         RuleId::WallClock,
         RuleId::EnvRead,
@@ -43,6 +46,7 @@ impl RuleId {
         RuleId::AttachTrace,
         RuleId::SweepRoute,
         RuleId::ErrorMatch,
+        RuleId::JournalAppend,
         RuleId::WaiverMissingReason,
         RuleId::UnusedWaiver,
     ];
@@ -58,6 +62,7 @@ impl RuleId {
             RuleId::AttachTrace => "attach-trace",
             RuleId::SweepRoute => "sweep-route",
             RuleId::ErrorMatch => "error-match",
+            RuleId::JournalAppend => "journal-append",
             RuleId::WaiverMissingReason => "waiver-missing-reason",
             RuleId::UnusedWaiver => "unused-waiver",
         }
@@ -75,6 +80,7 @@ impl RuleId {
             "attach-trace" => RuleId::AttachTrace,
             "sweep-route" => RuleId::SweepRoute,
             "error-match" => RuleId::ErrorMatch,
+            "journal-append" => RuleId::JournalAppend,
             _ => return None,
         })
     }

@@ -61,10 +61,15 @@ const SIM_FILES: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/metr
 
 /// The timing allowlist: where `Instant::now` is legitimate. The policy
 /// (documented in EXPERIMENTS.md) is that wall-clock may only feed
-/// *reporting* — sweep-runner cell timing, progress callbacks, bench
-/// harnesses, and CLI heartbeats — never simulated state.
-const WALL_CLOCK_ALLOW: [&str; 5] = [
-    "crates/core/src/experiments/runner.rs",
+/// *reporting* — sweep-runner cell timing, journal/lease timestamps and
+/// watchdog budgets (the `runner` module tree), progress callbacks,
+/// bench harnesses, and CLI heartbeats — never simulated state. The
+/// fault-injection module's hang points carry a wall-clock self-expiry
+/// deadline (test-only code, but compiled as library under the `fault`
+/// feature).
+const WALL_CLOCK_ALLOW: [&str; 6] = [
+    "crates/core/src/experiments/runner",
+    "crates/core/src/experiments/fault.rs",
     "src/bin/",
     "crates/bench/",
     "crates/criterion/",
@@ -207,8 +212,17 @@ mod tests {
         let c = classify("crates/cache/src/classify.rs");
         assert!(c.sim_path && c.is_lib && !c.is_test && !c.wall_clock_allowed);
 
-        let c = classify("crates/core/src/experiments/runner.rs");
+        let c = classify("crates/core/src/experiments/runner/mod.rs");
         assert!(!c.sim_path && c.is_lib && c.wall_clock_allowed);
+
+        let c = classify("crates/core/src/experiments/runner/watchdog.rs");
+        assert!(c.wall_clock_allowed, "the whole runner tree may read time");
+
+        let c = classify("crates/core/src/experiments/fault.rs");
+        assert!(
+            c.wall_clock_allowed,
+            "hang points carry a wall-clock expiry"
+        );
 
         let c = classify("crates/core/src/experiments/table3.rs");
         assert!(c.sweep_routed && c.is_lib && !c.sim_path);

@@ -128,6 +128,9 @@ pub fn analyze_source(
     if class.sweep_routed && !class.is_test {
         sweep_route_pass(rel, &code, &mut diags);
     }
+    if !class.is_test {
+        journal_append_pass(rel, &code, &mut diags);
+    }
 
     let facts = if class.is_test {
         StructuralFacts::default()
@@ -815,6 +818,95 @@ fn error_match_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
                      error matches exhaustive so new variants are handled"
                         .to_string(),
                 ));
+            }
+        }
+    }
+}
+
+/// Raw writes addressed at a sweep journal must go through the
+/// checksummed `Journal::append` helper: a bare write skips the FNV
+/// line checksum and single-write line atomicity that make torn tails
+/// detectable (and concurrent appends safe) on reopen. Three shapes
+/// are flagged: `.write_all(…)`/`.write(…)` on a journal-named
+/// receiver, `write!`/`writeln!` into a journal-named destination, and
+/// `write`-style calls handed a `journal…` path literal.
+fn journal_append_pass(rel: &str, code: &Code<'_>, diags: &mut Vec<Diagnostic>) {
+    for j in 0..code.len() {
+        let Some(id) = code.ident(j) else { continue };
+        // `journal_file.write_all(…)` / `journal.write(…)`.
+        if (id == "write_all" || id == "write")
+            && j >= 1
+            && code.is_punct(j - 1, '.')
+            && code.is_punct(j + 1, '(')
+        {
+            if let Some(recv) = receiver_ident(code, j) {
+                if recv.to_ascii_lowercase().contains("journal") {
+                    let (line, col) = code.pos(j);
+                    diags.push(diag(
+                        rel,
+                        line,
+                        col,
+                        RuleId::JournalAppend,
+                        format!(
+                            "raw `.{id}()` on journal handle `{recv}` — journal records must go \
+                             through the checksummed Journal::append helper"
+                        ),
+                    ));
+                }
+            }
+        }
+        // `write!(journal_file, …)` / `writeln!(journal_file, …)`.
+        if (id == "write" || id == "writeln")
+            && code.is_punct(j + 1, '!')
+            && code.is_punct(j + 2, '(')
+        {
+            if let Some(dest) = code.ident(j + 3) {
+                if dest.to_ascii_lowercase().contains("journal") && code.is_punct(j + 4, ',') {
+                    let (line, col) = code.pos(j);
+                    diags.push(diag(
+                        rel,
+                        line,
+                        col,
+                        RuleId::JournalAppend,
+                        format!(
+                            "`{id}!` into journal destination `{dest}` — journal records must go \
+                             through the checksummed Journal::append helper"
+                        ),
+                    ));
+                }
+            }
+        }
+        // `fs::write("…journal.jsonl", …)`-style free calls carrying a
+        // journal path literal.
+        if id == "write"
+            && code.is_punct(j + 1, '(')
+            && !code.is_punct(j.wrapping_sub(1), '.')
+            && !code.is_ident(j.wrapping_sub(1), "fn")
+        {
+            let mut depth = 0i32;
+            for k in (j + 1)..(j + 64).min(code.len()) {
+                if code.is_punct(k, '(') {
+                    depth += 1;
+                } else if code.is_punct(k, ')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if code.kind(k) == Some(TokenKind::Str)
+                    && code.tok(k).is_some_and(|t| t.text.contains("journal"))
+                {
+                    let (line, col) = code.pos(j);
+                    diags.push(diag(
+                        rel,
+                        line,
+                        col,
+                        RuleId::JournalAppend,
+                        "`write` call given a journal path — journal records must go through \
+                         the checksummed Journal::append helper"
+                            .to_string(),
+                    ));
+                    break;
+                }
             }
         }
     }

@@ -83,7 +83,9 @@ fn wall_clock_allowlist_is_honored() {
     let text = fixture("bad/wall_clock.rs");
     for rel in [
         "src/bin/wall_clock.rs",
-        "crates/core/src/experiments/runner.rs",
+        "crates/core/src/experiments/runner/mod.rs",
+        "crates/core/src/experiments/runner/watchdog.rs",
+        "crates/core/src/experiments/fault.rs",
         "crates/criterion/src/lib.rs",
     ] {
         let diags = analyze_one(rel, &text);
@@ -234,6 +236,38 @@ fn error_match_fires_on_wildcard_over_error_enum() {
 fn error_match_quiet_on_exhaustive_and_non_error_matches() {
     let text = fixture("good/error_match.rs");
     let diags = analyze_one("crates/core/src/error_match.rs", &text);
+    assert_findings(&diags, &[]);
+}
+
+#[test]
+fn journal_append_fires_on_raw_journal_writes() {
+    let text = fixture("bad/journal_append.rs");
+    let diags = analyze_one("crates/core/src/experiments/journal_append.rs", &text);
+    let raw = loc(&text, "write_all");
+    let mac = loc(&text, "writeln!");
+    let fsw = loc(&text, "write(dir.join");
+    assert_findings(
+        &diags,
+        &[
+            (RuleId::JournalAppend, raw.0, raw.1),
+            (RuleId::JournalAppend, mac.0, mac.1),
+            (RuleId::JournalAppend, fsw.0, fsw.1),
+        ],
+    );
+}
+
+#[test]
+fn journal_append_quiet_on_the_helper_and_unrelated_writes() {
+    let text = fixture("good/journal_append.rs");
+    let diags = analyze_one("crates/core/src/experiments/journal_append.rs", &text);
+    assert_findings(&diags, &[]);
+}
+
+#[test]
+fn journal_append_exempt_in_tests() {
+    // Tests may stage torn or corrupt journals by hand.
+    let text = fixture("bad/journal_append.rs");
+    let diags = analyze_one("tests/journal_append.rs", &text);
     assert_findings(&diags, &[]);
 }
 

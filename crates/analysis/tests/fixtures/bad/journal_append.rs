@@ -1,0 +1,16 @@
+//! Fixture: raw sweep-journal writes bypassing the checksummed
+//! `Journal::append` helper — every shape the rule knows.
+
+use std::io::Write;
+
+pub fn raw_append(journal_file: &mut std::fs::File, line: &str) -> std::io::Result<()> {
+    journal_file.write_all(line.as_bytes())
+}
+
+pub fn macro_append(journal: &mut std::fs::File, n: u64) -> std::io::Result<()> {
+    writeln!(journal, "{n}")
+}
+
+pub fn whole_file(dir: &std::path::Path, body: &str) -> std::io::Result<()> {
+    std::fs::write(dir.join("journal.jsonl"), body)
+}

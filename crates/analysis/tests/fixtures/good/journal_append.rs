@@ -1,0 +1,25 @@
+//! Fixture: journal records routed through the checksummed append
+//! helper; writes on non-journal handles and paths stay out of scope.
+
+use std::io::Write;
+
+pub struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// The one sanctioned write path: checksummed single-line append.
+    pub fn append(&mut self, payload: &str) -> std::io::Result<()> {
+        let line = format!("{{\"sum\":1,\"rec\":{payload}}}\n");
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+pub fn unrelated(log_file: &mut std::fs::File, text: &str) -> std::io::Result<()> {
+    log_file.write_all(text.as_bytes())
+}
+
+pub fn results(dir: &std::path::Path, body: &str) -> std::io::Result<()> {
+    std::fs::write(dir.join("results.json"), body)
+}

@@ -151,7 +151,7 @@ pub fn run(
             ]
         })
         .collect();
-    let cells = runner.run_batch(&jobs);
+    let cells = runner.run_labeled("ablations", &jobs);
     let rows = Knob::ALL
         .iter()
         .zip(cells.chunks_exact(2))

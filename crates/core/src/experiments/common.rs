@@ -358,9 +358,11 @@ pub fn run_config_traced(
 }
 
 /// Run `make_cfg(issue, size)` over a size sweep at one issue rate,
-/// through the runner's pool and cache.
+/// through the runner's pool and cache. `label` names the calling
+/// artifact in journaled claim records.
 pub fn sweep_sizes(
     runner: &SweepRunner,
+    label: &str,
     make_cfg: impl Fn(IssueRate, u64) -> SystemConfig,
     issue: IssueRate,
     sizes: &[u64],
@@ -370,7 +372,7 @@ pub fn sweep_sizes(
         .iter()
         .map(|&size| Job::new(make_cfg(issue, size), *workload))
         .collect();
-    runner.run_batch(&jobs)
+    runner.run_labeled(label, jobs.as_slice())
 }
 
 #[cfg(test)]
@@ -413,6 +415,7 @@ mod tests {
     fn sweep_covers_sizes_in_order() {
         let cells = sweep_sizes(
             &SweepRunner::serial(),
+            "test",
             SystemConfig::baseline,
             IssueRate::MHZ200,
             &[128, 4096],

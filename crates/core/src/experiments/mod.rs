@@ -43,5 +43,8 @@ pub use common::{
     Cell, CorpusSourceStats, Workload, PAPER_SIZES,
 };
 pub use runner::{
-    CacheLoad, CellCache, FailedCell, Job, ProgressUpdate, SweepRunner, CACHE_FORMAT_VERSION,
+    scan_journal, CacheLoad, CellCache, CellView, ClaimDecision, ClaimView, FailedCell, Job,
+    Journal, JournalOp, JournalOpenReport, JournalRecord, JournalState, LeaseConfig,
+    ProgressUpdate, SweepRunner, Watchdog, WatchdogConfig, CACHE_FORMAT_VERSION,
+    STALL_PANIC_PREFIX,
 };

@@ -69,7 +69,7 @@ pub fn run(
             ));
         }
     }
-    let mut cells = runner.run_batch(&jobs).into_iter();
+    let mut cells = runner.run_labeled("per_benchmark", &jobs).into_iter();
     let programs: Vec<ProgramSweep> = profiles::TABLE2
         .iter()
         .map(|p| {

@@ -28,6 +28,25 @@
 //!   are written atomically (temp file + fsync + rename), and corrupt
 //!   files are quarantined (`<name>.corrupt`) rather than trusted or
 //!   allowed to abort a run.
+//! * **Crash safety** — a runner given [`SweepRunner::with_journal`]
+//!   records every cell transition in a durable append-only journal
+//!   ([`journal`] module), claims cells under owner leases so several
+//!   processes can drain one grid cooperatively ([`lease`] module), and
+//!   resumes a killed sweep from the journal's `done` records. An
+//!   optional [`watchdog`] flags cells that blow past a latency budget
+//!   derived from the sweep's own history, and a shutdown flag
+//!   ([`SweepRunner::with_shutdown_flag`]) turns SIGINT/SIGTERM into a
+//!   graceful checkpoint-and-release instead of lost work.
+
+mod journal;
+mod lease;
+mod watchdog;
+
+pub use journal::{
+    scan_path as scan_journal, Journal, JournalOp, JournalOpenReport, JournalRecord,
+};
+pub use lease::{CellView, ClaimDecision, ClaimView, JournalState, LeaseConfig};
+pub use watchdog::{Watchdog, WatchdogConfig, STALL_PANIC_PREFIX};
 
 use crate::config::SystemConfig;
 use crate::error::{CacheIoError, InvariantError, RampageError};
@@ -37,8 +56,8 @@ use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One unit of sweep work: simulate `cfg` over `workload`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -474,8 +493,8 @@ mod panic_capture {
                 let backtrace = summarize(&std::backtrace::Backtrace::force_capture());
                 LAST.with(|l| {
                     *l.borrow_mut() = Some(CapturedPanic {
-                        message,
-                        location,
+                        message: scrub_thread_ids(&message),
+                        location: repo_relative(&location).to_string(),
                         backtrace,
                     })
                 });
@@ -484,16 +503,82 @@ mod panic_capture {
     }
 
     /// Keep only the frames that point into this workspace (the part of
-    /// a backtrace a failure report can act on), capped at a few lines.
+    /// a backtrace a failure report can act on), capped at a few frames.
+    ///
+    /// Summaries land in persisted failure records (`metrics.json`, the
+    /// failure report), which a golden test compares byte-for-byte
+    /// between serial and pooled runs — so everything scheduling- or
+    /// checkout-dependent is normalized away: frame indices (stack depth
+    /// differs between the serial path and a worker thread), the capture
+    /// hook's own frames (they sit at the top of the stack), everything
+    /// below the `catch_unwind` isolation boundary, and absolute source
+    /// paths (cut to their repo-relative suffix).
     fn summarize(bt: &std::backtrace::Backtrace) -> String {
-        const MAX_LINES: usize = 8;
-        bt.to_string()
-            .lines()
-            .filter(|l| l.contains("rampage"))
-            .take(MAX_LINES)
-            .map(str::trim)
-            .collect::<Vec<_>>()
-            .join("\n")
+        const MAX_FRAMES: usize = 8;
+        let mut out: Vec<String> = Vec::new();
+        let mut frames = 0usize;
+        let mut kept_frame = false;
+        for raw in bt.to_string().lines() {
+            let line = raw.trim();
+            if line.contains("catch_unwind") || line.contains("panicking::try") {
+                break;
+            }
+            if line.contains("panic_capture") {
+                continue;
+            }
+            if let Some(loc) = line.strip_prefix("at ") {
+                if kept_frame {
+                    out.push(format!("at {}", repo_relative(loc)));
+                }
+                kept_frame = false;
+                continue;
+            }
+            kept_frame = false;
+            if !line.contains("rampage") || frames >= MAX_FRAMES {
+                continue;
+            }
+            let symbol = match line.split_once(": ") {
+                Some((_, s)) => s,
+                None => line,
+            };
+            out.push(symbol.to_string());
+            frames += 1;
+            kept_frame = true;
+        }
+        out.join("\n")
+    }
+
+    /// Cut an absolute source path down to its repo-relative suffix, so
+    /// two checkouts (or two build machines) render the same summary.
+    pub(super) fn repo_relative(path: &str) -> &str {
+        for marker in ["crates/", "src/", "tests/"] {
+            if let Some(ix) = path.find(marker) {
+                return &path[ix..];
+            }
+        }
+        path.rsplit('/').next().unwrap_or(path)
+    }
+
+    /// Replace every `ThreadId(<n>)` with `ThreadId(?)`: thread identity
+    /// is scheduling-dependent and must never reach persisted failure
+    /// records (jobs-1-vs-N byte equality).
+    pub(super) fn scrub_thread_ids(s: &str) -> String {
+        const NEEDLE: &str = "ThreadId(";
+        let mut out = String::with_capacity(s.len());
+        let mut rest = s;
+        while let Some(ix) = rest.find(NEEDLE) {
+            let (head, tail) = rest.split_at(ix + NEEDLE.len());
+            out.push_str(head);
+            let digits = tail.chars().take_while(char::is_ascii_digit).count();
+            if digits > 0 && tail[digits..].starts_with(')') {
+                out.push_str("?)");
+                rest = &tail[digits + 1..];
+            } else {
+                rest = tail;
+            }
+        }
+        out.push_str(rest);
+        out
     }
 
     /// Run `f` with panics captured: on unwind, returns what the hook
@@ -516,7 +601,7 @@ mod panic_capture {
                     "panic payload of unknown type".to_string()
                 };
                 CapturedPanic {
-                    message,
+                    message: scrub_thread_ids(&message),
                     ..CapturedPanic::default()
                 }
             })),
@@ -581,6 +666,111 @@ struct Telemetry {
 
 type ProgressFn = Box<dyn Fn(&ProgressUpdate) + Send + Sync>;
 
+/// Wall-clock/ETA accumulators shared by every slice of one batch (in
+/// the journaled path a batch executes as several claimed chunks).
+#[derive(Debug, Default)]
+struct SliceState {
+    finished: AtomicUsize,
+    spent_secs: Mutex<f64>,
+}
+
+/// The crash-safety state of a journaled runner: the open journal, the
+/// lease identity/policy, and the resume/coordination counters that feed
+/// the `journal` subtree of `metrics.json`.
+#[derive(Debug)]
+struct Durable {
+    journal: Mutex<Journal>,
+    lease: LeaseConfig,
+    /// Monotonic lease number, bumped at every renew.
+    lease_seq: AtomicU64,
+    dones_since_renew: AtomicU64,
+    last_renew_ms: AtomicU64,
+    /// Finished cells recovered from the journal at open.
+    resumed_cells: u64,
+    corrupt_lines: u64,
+    truncated_bytes: u64,
+    /// Cells finished by someone else and read back mid-run.
+    adopted: AtomicU64,
+    claims: AtomicU64,
+    reclaims: AtomicU64,
+    renews: AtomicU64,
+    /// Journal I/O failures (the run degrades to non-resumable instead
+    /// of aborting; the count surfaces in telemetry).
+    errors: AtomicU64,
+}
+
+impl Durable {
+    /// Append one record under this runner's owner id and current lease
+    /// number. Failures are counted, never fatal: losing the journal
+    /// costs resumability, not the sweep.
+    fn append(&self, op: JournalOp) {
+        let rec = JournalRecord {
+            op,
+            owner: self.lease.owner.clone(),
+            lease: self.lease_seq.load(Ordering::Relaxed),
+            t_ms: journal::wall_ms(),
+        };
+        if lock_recovering(&self.journal).append(&rec).is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-read the journal (other processes may have appended).
+    fn scan(&self) -> Vec<JournalRecord> {
+        match lock_recovering(&self.journal).scan() {
+            Ok(records) => records,
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Bump the lease number and append a `renew` heartbeat.
+    fn renew(&self) {
+        self.lease_seq.fetch_add(1, Ordering::Relaxed);
+        self.renews.fetch_add(1, Ordering::Relaxed);
+        self.last_renew_ms
+            .store(journal::wall_ms(), Ordering::Relaxed);
+        self.append(JournalOp::Renew);
+    }
+
+    /// Called after each journaled `done`: renew every K completed
+    /// cells, per the lease config.
+    fn note_done(&self) {
+        let n = self.dones_since_renew.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.lease.renew_every > 0 && n >= self.lease.renew_every {
+            self.dones_since_renew.store(0, Ordering::Relaxed);
+            self.renew();
+        }
+    }
+
+    /// Heartbeat while idle-waiting on other owners' claims, often
+    /// enough that a healthy process never looks TTL-stale.
+    fn maybe_heartbeat(&self) {
+        let now = journal::wall_ms();
+        let last = self.last_renew_ms.load(Ordering::Relaxed);
+        if now.saturating_sub(last) > self.lease.ttl_ms / 3 {
+            self.renew();
+        }
+    }
+
+    /// The `journal` subtree of `metrics.json`.
+    fn telemetry(&self) -> Json {
+        obj! {
+            "owner" => self.lease.owner.as_str(),
+            "resumed" => self.resumed_cells,
+            "adopted" => self.adopted.load(Ordering::Relaxed),
+            "claims" => self.claims.load(Ordering::Relaxed),
+            "reclaims" => self.reclaims.load(Ordering::Relaxed),
+            "renews" => self.renews.load(Ordering::Relaxed),
+            "corrupt_lines" => self.corrupt_lines,
+            "truncated_bytes" => self.truncated_bytes,
+            "errors" => self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The parallel memoized sweep runner every experiment module submits
 /// its simulations through.
 #[derive(Default)]
@@ -590,6 +780,10 @@ pub struct SweepRunner {
     failures: Mutex<Vec<FailedCell>>,
     telemetry: Mutex<Telemetry>,
     progress: Option<ProgressFn>,
+    watchdog: Option<Watchdog>,
+    durable: Option<Durable>,
+    shutdown: Option<&'static AtomicBool>,
+    interrupted: AtomicBool,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -600,54 +794,30 @@ impl std::fmt::Debug for SweepRunner {
             .field("failures", &self.failures)
             .field("telemetry", &self.telemetry)
             .field("progress", &self.progress.as_ref().map(|_| "Fn"))
+            .field("watchdog", &self.watchdog)
+            .field("durable", &self.durable)
+            .field(
+                "shutdown",
+                &self.shutdown.map(|f| f.load(Ordering::Relaxed)),
+            )
+            .field("interrupted", &self.interrupted)
             .finish()
     }
 }
 
-/// How a single pending job ended: a real cell, or a failure record.
-type JobOutcome = Result<Cell, Box<FailedCell>>;
-
-/// One isolated execution attempt sequence for a job: validate the
-/// configuration, then simulate behind a panic boundary, retrying a
-/// panicking cell once (a second identical panic is considered
-/// deterministic and recorded).
-fn compute_cell(job: &Job, fp: u64) -> JobOutcome {
-    const MAX_ATTEMPTS: u32 = 2;
-    if let Err(e) = job.cfg.validate() {
-        return Err(Box::new(FailedCell::new(
-            job,
-            fp,
-            1,
-            &RampageError::Config(e),
-            String::new(),
-        )));
-    }
-    let mut attempts = 0;
-    loop {
-        attempts += 1;
-        match panic_capture::catch(|| {
-            #[cfg(feature = "fault")]
-            crate::experiments::fault::cell_panic_point(fp);
-            run_config(&job.cfg, &job.workload)
-        }) {
-            Ok(cell) => return Ok(cell),
-            Err(_) if attempts < MAX_ATTEMPTS => continue,
-            Err(p) => {
-                let err = RampageError::Invariant(InvariantError {
-                    message: p.message,
-                    location: p.location,
-                    backtrace: p.backtrace.clone(),
-                });
-                return Err(Box::new(FailedCell::new(
-                    job,
-                    fp,
-                    attempts,
-                    &err,
-                    p.backtrace,
-                )));
-            }
-        }
-    }
+/// How a single pending job ended.
+enum JobOutcome {
+    /// Computed here: cached (counted as computed) and, when journaled,
+    /// appended as a `done` record.
+    Done(Cell),
+    /// Finished by a previous run or a sibling process and read back
+    /// from the journal: seeds the cache without counting as computed.
+    Adopted(Cell),
+    /// Failed deterministically: recorded, slot holds the placeholder.
+    Failed(Box<FailedCell>),
+    /// Never computed — a shutdown request drained the queue. The slot
+    /// holds a placeholder and the runner reports itself interrupted.
+    Interrupted,
 }
 
 impl SweepRunner {
@@ -661,10 +831,7 @@ impl SweepRunner {
         };
         SweepRunner {
             jobs,
-            cache: CellCache::new(),
-            failures: Mutex::new(Vec::new()),
-            telemetry: Mutex::new(Telemetry::default()),
-            progress: None,
+            ..SweepRunner::default()
         }
     }
 
@@ -674,6 +841,119 @@ impl SweepRunner {
     pub fn with_progress(mut self, f: impl Fn(&ProgressUpdate) + Send + Sync + 'static) -> Self {
         self.progress = Some(Box::new(f));
         self
+    }
+
+    /// Attach a durable cell journal at `path` (conventionally
+    /// `journal.jsonl` next to `cells.json`), making every batch
+    /// crash-safe and resumable:
+    ///
+    /// * finished cells already journaled (by a killed previous run, or
+    ///   by this run's siblings) seed the cache, so resumption skips
+    ///   them;
+    /// * every cell transition is appended durably before the runner
+    ///   moves on, so a `kill -9` loses at most the cells mid-compute;
+    /// * cells are claimed under `lease` before computing, so several
+    ///   processes can point at the same journal and cooperatively
+    ///   drain one grid without duplicating work.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheIoError`] when the journal cannot be opened or its torn
+    /// tail cannot be truncated.
+    pub fn with_journal(mut self, path: &Path, lease: LeaseConfig) -> Result<Self, CacheIoError> {
+        let (mut journal, report) = Journal::open(path)?;
+        let state = JournalState::replay(&journal.scan()?);
+        let mut resumed = 0u64;
+        for (fp, view) in &state.cells {
+            if let Some(cell) = view.done {
+                self.cache.seed(*fp, cell);
+                resumed += 1;
+            }
+        }
+        let now = journal::wall_ms();
+        journal.append(&JournalRecord {
+            op: JournalOp::Open,
+            owner: lease.owner.clone(),
+            lease: 1,
+            t_ms: now,
+        })?;
+        self.durable = Some(Durable {
+            journal: Mutex::new(journal),
+            lease,
+            lease_seq: AtomicU64::new(1),
+            dones_since_renew: AtomicU64::new(0),
+            last_renew_ms: AtomicU64::new(now),
+            resumed_cells: resumed,
+            corrupt_lines: report.corrupt_lines as u64,
+            truncated_bytes: report.truncated_bytes,
+            adopted: AtomicU64::new(0),
+            claims: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            renews: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        Ok(self)
+    }
+
+    /// Arm the hung-cell watchdog: cells whose wall time exceeds
+    /// p99 × multiplier (see [`WatchdogConfig`]) are journaled `stalled`,
+    /// cooperatively cancelled, and retried on an attempt-indexed
+    /// backoff before being recorded as failed.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(Watchdog::new(cfg));
+        self
+    }
+
+    /// Install a shutdown flag (typically set by a SIGINT/SIGTERM
+    /// handler). Once the flag reads true, workers finish the cells
+    /// they have started, unstarted cells drain as interrupted
+    /// placeholders (journaled `released` when a journal is attached),
+    /// and [`interrupted`](Self::interrupted) reports true.
+    pub fn with_shutdown_flag(mut self, flag: &'static AtomicBool) -> Self {
+        self.shutdown = Some(flag);
+        self
+    }
+
+    /// Whether any batch was cut short by the shutdown flag. Results
+    /// from an interrupted runner contain placeholder cells and must
+    /// not be published as experiment output — persist the cache and
+    /// journal, then resume later.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted.load(Ordering::Relaxed)
+    }
+
+    /// Finished cells recovered from the journal when it was attached
+    /// (0 for a fresh journal or an unjournaled runner).
+    pub fn resumed_cells(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.resumed_cells)
+    }
+
+    /// One human-readable line describing what attaching the journal
+    /// recovered; `None` when no journal is attached.
+    pub fn resume_summary(&self) -> Option<String> {
+        let d = self.durable.as_ref()?;
+        let mut s = format!(
+            "journal: owner {}, resumed {} finished cell(s)",
+            d.lease.owner, d.resumed_cells
+        );
+        if d.truncated_bytes > 0 {
+            s.push_str(&format!(", truncated {}-byte torn tail", d.truncated_bytes));
+        }
+        if d.corrupt_lines > 0 {
+            s.push_str(&format!(", skipped {} corrupt line(s)", d.corrupt_lines));
+        }
+        Some(s)
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Append `op` to the journal, when one is attached.
+    fn journal_op(&self, op: JournalOp) {
+        if let Some(d) = &self.durable {
+            d.append(op);
+        }
     }
 
     /// The machine-readable sweep telemetry document (`metrics.json`):
@@ -690,7 +970,7 @@ impl SweepRunner {
                 b.issue_mhz,
             ))
         });
-        obj! {
+        let mut doc = obj! {
             "version" => 1u64,
             "workers" => self.jobs,
             "batches" => t.batches,
@@ -698,8 +978,10 @@ impl SweepRunner {
             "cache_hits" => self.cache.hits(),
             "distinct_cells" => self.cache.len(),
             "failures" => self.failure_count(),
+            "interrupted" => self.interrupted(),
             "wall" => obj! {
                 "total_secs" => t.total_secs,
+                "stalled" => self.watchdog.as_ref().map_or(0, Watchdog::stalled_total),
                 "cells" => cells
                     .iter()
                     .map(|c| obj! {
@@ -711,7 +993,13 @@ impl SweepRunner {
                     })
                     .collect::<Vec<Json>>(),
             },
+        };
+        if let Some(d) = &self.durable {
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.push(("journal".to_string(), d.telemetry()));
+            }
         }
+        doc
     }
 
     /// A single-threaded runner (still memoized) — the reference the
@@ -778,6 +1066,13 @@ impl SweepRunner {
     /// yield [`Cell::failed_placeholder`] (never cached) and are
     /// recorded in [`failures`](Self::failures).
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<Cell> {
+        self.run_labeled("batch", jobs)
+    }
+
+    /// [`run_batch`](Self::run_batch) with a label (the calling
+    /// artifact's name) that journaled claim records carry, so a
+    /// journal reads as a per-artifact work log.
+    pub fn run_labeled(&self, label: &str, jobs: &[Job]) -> Vec<Cell> {
         let batch_start = std::time::Instant::now();
         let mut slots: Vec<Option<Cell>> = vec![None; jobs.len()];
         // First occurrence of each uncached fingerprint, in order.
@@ -807,7 +1102,10 @@ impl SweepRunner {
             }
         }
 
-        let mut computed = self.execute(&pending, cached);
+        let mut computed = match &self.durable {
+            Some(durable) => self.execute_durable(durable, label, &pending, cached),
+            None => self.execute(&pending, cached),
+        };
         {
             let mut t = lock_recovering(&self.telemetry);
             t.batches += 1;
@@ -820,18 +1118,33 @@ impl SweepRunner {
         for (k, outcome) in computed {
             let (fp, job) = pending[k];
             match outcome {
-                Ok(cell) => {
+                JobOutcome::Done(cell) => {
                     self.cache.insert(fp, cell);
                     for &slot in &waiters[&fp] {
                         slots[slot] = Some(cell);
                     }
                 }
-                Err(failed) => {
+                JobOutcome::Adopted(cell) => {
+                    // Someone else simulated it: cache without counting
+                    // it as computed here.
+                    self.cache.seed(fp, cell);
+                    for &slot in &waiters[&fp] {
+                        slots[slot] = Some(cell);
+                    }
+                }
+                JobOutcome::Failed(failed) => {
                     let placeholder = Cell::failed_placeholder(&job.cfg);
                     for &slot in &waiters[&fp] {
                         slots[slot] = Some(placeholder);
                     }
                     lock_recovering(&self.failures).push(*failed);
+                }
+                JobOutcome::Interrupted => {
+                    self.interrupted.store(true, Ordering::Relaxed);
+                    let placeholder = Cell::failed_placeholder(&job.cfg);
+                    for &slot in &waiters[&fp] {
+                        slots[slot] = Some(placeholder);
+                    }
                 }
             }
         }
@@ -875,36 +1188,145 @@ impl SweepRunner {
         }
     }
 
+    /// One isolated execution attempt sequence for a job: validate the
+    /// configuration, then simulate behind a panic boundary, retrying a
+    /// panicking cell once (a second identical panic is considered
+    /// deterministic and recorded). When a watchdog is armed, each
+    /// attempt is registered with it; a cooperative stall unwind is
+    /// retried on the (separate) stall budget with attempt-indexed
+    /// backoff baked into the watchdog's budget formula.
+    fn compute_cell(&self, job: &Job, fp: u64) -> JobOutcome {
+        const MAX_PANIC_ATTEMPTS: u32 = 2;
+        if let Err(e) = job.cfg.validate() {
+            return JobOutcome::Failed(Box::new(FailedCell::new(
+                job,
+                fp,
+                1,
+                &RampageError::Config(e),
+                String::new(),
+            )));
+        }
+        let stall_budget = self
+            .watchdog
+            .as_ref()
+            .map_or(0, |w| w.config().max_stall_retries);
+        let mut panic_attempts = 0u32;
+        let mut stall_attempts = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let cancel = match &self.watchdog {
+                Some(wd) => wd.register(fp, attempt),
+                None => Arc::new(AtomicBool::new(false)),
+            };
+            #[cfg(not(feature = "fault"))]
+            let _ = &cancel;
+            let outcome = panic_capture::catch(|| {
+                #[cfg(feature = "fault")]
+                {
+                    crate::experiments::fault::cell_panic_point(fp);
+                    crate::experiments::fault::hang_cell_point(fp, &cancel);
+                }
+                run_config(&job.cfg, &job.workload)
+            });
+            if let Some(wd) = &self.watchdog {
+                wd.complete(fp, attempt, outcome.is_ok());
+            }
+            match outcome {
+                Ok(cell) => return JobOutcome::Done(cell),
+                Err(p) if watchdog::is_stall_panic(&p.message) => {
+                    stall_attempts += 1;
+                    if stall_attempts <= stall_budget {
+                        continue;
+                    }
+                    let err = RampageError::Invariant(InvariantError {
+                        message: p.message,
+                        location: p.location,
+                        backtrace: p.backtrace.clone(),
+                    });
+                    return JobOutcome::Failed(Box::new(FailedCell::new(
+                        job,
+                        fp,
+                        attempt,
+                        &err,
+                        p.backtrace,
+                    )));
+                }
+                Err(_) if panic_attempts + 1 < MAX_PANIC_ATTEMPTS => {
+                    panic_attempts += 1;
+                    continue;
+                }
+                Err(p) => {
+                    let err = RampageError::Invariant(InvariantError {
+                        message: p.message,
+                        location: p.location,
+                        backtrace: p.backtrace.clone(),
+                    });
+                    return JobOutcome::Failed(Box::new(FailedCell::new(
+                        job,
+                        fp,
+                        attempt,
+                        &err,
+                        p.backtrace,
+                    )));
+                }
+            }
+        }
+    }
+
     /// Simulate `pending` on the worker pool; returns `(index, outcome)`
     /// pairs in arbitrary order. `cached` is how many of the batch's
     /// slots were already served from the cache (reported to the
     /// progress callback).
     fn execute(&self, pending: &[(u64, Job)], cached: usize) -> Vec<(usize, JobOutcome)> {
-        if pending.is_empty() {
+        let ks: Vec<usize> = (0..pending.len()).collect();
+        self.execute_slice(pending, &ks, cached, pending.len(), &SliceState::default())
+    }
+
+    /// Simulate the pending-batch indices `ks` on the worker pool. The
+    /// journaled path calls this once per claimed chunk, with `shared`
+    /// carrying the done/mean accumulators across chunks so progress
+    /// and ETA describe the whole batch of `total` cells. When a
+    /// watchdog is armed, the calling thread runs its monitor loop
+    /// alongside the workers (so even a 1-worker run gets stall
+    /// detection).
+    fn execute_slice(
+        &self,
+        pending: &[(u64, Job)],
+        ks: &[usize],
+        cached: usize,
+        total: usize,
+        shared: &SliceState,
+    ) -> Vec<(usize, JobOutcome)> {
+        if ks.is_empty() {
             return Vec::new();
         }
-        let workers = self.jobs.min(pending.len()).max(1);
-        let finished = AtomicUsize::new(0);
-        let spent_secs = Mutex::new(0.0f64);
+        let workers = self.jobs.min(ks.len()).max(1);
+        let slice_done = AtomicUsize::new(0);
         let timed = |k: usize| {
+            if self.shutdown_requested() {
+                slice_done.fetch_add(1, Ordering::Relaxed);
+                return (k, JobOutcome::Interrupted);
+            }
             let (fp, job) = &pending[k];
             let t0 = std::time::Instant::now();
-            let outcome = compute_cell(job, *fp);
+            let outcome = self.compute_cell(job, *fp);
             let secs = t0.elapsed().as_secs_f64();
-            let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+            let done = shared.finished.fetch_add(1, Ordering::Relaxed) + 1;
             let mean = {
-                let mut total = lock_recovering(&spent_secs);
-                *total += secs;
-                *total / done as f64
+                let mut spent = lock_recovering(&shared.spent_secs);
+                *spent += secs;
+                *spent / done as f64
             };
+            slice_done.fetch_add(1, Ordering::Relaxed);
             self.observe_cell(
                 *fp,
                 job,
                 secs,
-                outcome.is_err(),
+                !matches!(outcome, JobOutcome::Done(_)),
                 BatchProgress {
                     done,
-                    total: pending.len(),
+                    total,
                     cached,
                     mean_secs: mean,
                     workers,
@@ -912,23 +1334,161 @@ impl SweepRunner {
             );
             (k, outcome)
         };
-        if workers <= 1 {
-            return (0..pending.len()).map(timed).collect();
+        if workers <= 1 && self.watchdog.is_none() {
+            return ks.iter().map(|&k| timed(k)).collect();
         }
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(pending.len()));
+        let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(ks.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= pending.len() {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= ks.len() {
                         break;
                     }
-                    lock_recovering(&done).push(timed(k));
+                    lock_recovering(&done).push(timed(ks[j]));
                 });
+            }
+            if let Some(wd) = &self.watchdog {
+                let poll = std::time::Duration::from_millis(wd.config().poll_ms.max(1));
+                while slice_done.load(Ordering::Relaxed) < ks.len() {
+                    std::thread::sleep(poll);
+                    wd.poll(|fp, attempt| self.journal_op(JournalOp::Stalled { fp, attempt }));
+                }
             }
         });
         done.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The journaled orchestrator: claim cells in chunks under our
+    /// lease, compute what we win, adopt what others finish, and
+    /// reclaim stale leases — until every pending cell is resolved.
+    ///
+    /// The claim protocol is append-then-read-back (see the [`lease`]
+    /// module): a claim only counts once it is durably in the file and
+    /// wins the file-order race. Chunked claiming (about two chunks per
+    /// worker in flight) keeps N processes genuinely sharing a grid
+    /// instead of one process claiming everything up front.
+    fn execute_durable(
+        &self,
+        durable: &Durable,
+        label: &str,
+        pending: &[(u64, Job)],
+        cached: usize,
+    ) -> Vec<(usize, JobOutcome)> {
+        /// How long to wait before re-scanning when every remaining
+        /// cell is live-claimed by another process.
+        const WAIT_MS: u64 = 25;
+        let total = pending.len();
+        let shared = SliceState::default();
+        let chunk_target = (self.jobs * 2).max(4);
+        let mut results: Vec<(usize, JobOutcome)> = Vec::with_capacity(total);
+        let mut remaining: Vec<usize> = (0..total).collect();
+        while !remaining.is_empty() {
+            // Adopt everything the journal already has a `done` record
+            // for — cells from a killed previous run land here via the
+            // cache seed at open; cells finished by a sibling process
+            // land here mid-run.
+            let state = JournalState::replay(&durable.scan());
+            let now = journal::wall_ms();
+            remaining.retain(|&k| {
+                let (fp, _) = pending[k];
+                match state.done_cell(fp) {
+                    Some(cell) => {
+                        durable.adopted.fetch_add(1, Ordering::Relaxed);
+                        results.push((k, JobOutcome::Adopted(cell)));
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if remaining.is_empty() {
+                break;
+            }
+            if self.shutdown_requested() {
+                // Graceful shutdown: everything we have not claimed is
+                // simply left for the next run; claims we held were
+                // resolved (done/failed/released) as they completed.
+                for &k in &remaining {
+                    results.push((k, JobOutcome::Interrupted));
+                }
+                break;
+            }
+            // Claim a chunk of free cells. `Ours` without an in-flight
+            // compute means a stale claim from a previous incarnation
+            // of this owner id — recompute it.
+            let mut to_claim: Vec<(usize, bool)> = Vec::new();
+            for &k in &remaining {
+                if to_claim.len() >= chunk_target {
+                    break;
+                }
+                let (fp, _) = pending[k];
+                match state.decide(fp, &durable.lease, now) {
+                    ClaimDecision::Theirs(_) => {}
+                    ClaimDecision::Ours => to_claim.push((k, false)),
+                    ClaimDecision::Claimable { reclaim } => to_claim.push((k, reclaim)),
+                }
+            }
+            if to_claim.is_empty() {
+                // Everything left is live-claimed elsewhere: heartbeat
+                // so our own leases stay fresh, then wait for their
+                // `done` records to land.
+                durable.maybe_heartbeat();
+                std::thread::sleep(std::time::Duration::from_millis(WAIT_MS));
+                continue;
+            }
+            for &(k, reclaim) in &to_claim {
+                let (fp, _) = pending[k];
+                durable.claims.fetch_add(1, Ordering::Relaxed);
+                if reclaim {
+                    durable.reclaims.fetch_add(1, Ordering::Relaxed);
+                }
+                durable.append(JournalOp::Claim {
+                    fp,
+                    attempt: state.claims_total(fp) + 1,
+                    reclaim,
+                    label: label.to_string(),
+                });
+            }
+            #[cfg(feature = "fault")]
+            crate::experiments::fault::die_after_claim_point();
+            // Read back: the first live claim in file order wins. A
+            // lost race stays in `remaining`; the winner's result is
+            // adopted by the rescan at the top of the loop.
+            let readback = JournalState::replay(&durable.scan());
+            let now = journal::wall_ms();
+            let winners: Vec<usize> = to_claim
+                .iter()
+                .map(|&(k, _)| k)
+                .filter(|&k| {
+                    let (fp, _) = pending[k];
+                    readback.done_cell(fp).is_none()
+                        && readback.decide(fp, &durable.lease, now) == ClaimDecision::Ours
+                })
+                .collect();
+            for (k, outcome) in self.execute_slice(pending, &winners, cached, total, &shared) {
+                let (fp, _) = pending[k];
+                match &outcome {
+                    JobOutcome::Done(cell) => {
+                        durable.append(JournalOp::Done { fp, cell: *cell });
+                        durable.note_done();
+                    }
+                    JobOutcome::Failed(f) => {
+                        durable.append(JournalOp::Failed {
+                            fp,
+                            error: f.error.clone(),
+                        });
+                    }
+                    JobOutcome::Interrupted => {
+                        durable.append(JournalOp::Released { fp });
+                    }
+                    JobOutcome::Adopted(_) => {}
+                }
+                remaining.retain(|&r| r != k);
+                results.push((k, outcome));
+            }
+        }
+        results
     }
 }
 

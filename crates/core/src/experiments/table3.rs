@@ -40,7 +40,7 @@ pub fn run(
             jobs.push(Job::new(SystemConfig::rampage(rate, s), *workload));
         }
     }
-    let mut cells = runner.run_batch(&jobs).into_iter();
+    let mut cells = runner.run_labeled("table3", &jobs).into_iter();
     let mut baseline = Vec::new();
     let mut rampage = Vec::new();
     for _ in rates {

@@ -42,7 +42,7 @@ pub fn run(runner: &SweepRunner, workload: &Workload, baseline: &Table3) -> Tabl
                 .map(move |&s| Job::new(SystemConfig::rampage_switching(rate, s), *workload))
         })
         .collect();
-    let mut flat = runner.run_batch(&jobs).into_iter();
+    let mut flat = runner.run_labeled("table4", &jobs).into_iter();
     let mut cells = Vec::new();
     let mut speedup = Vec::new();
     for ri in 0..rates_mhz.len() {

@@ -29,7 +29,16 @@ pub fn run(
 ) -> Table5 {
     let cells = rates
         .iter()
-        .map(|&rate| sweep_sizes(runner, SystemConfig::two_way, rate, sizes, workload))
+        .map(|&rate| {
+            sweep_sizes(
+                runner,
+                "table5",
+                SystemConfig::two_way,
+                rate,
+                sizes,
+                workload,
+            )
+        })
         .collect();
     Table5 {
         sizes: sizes.to_vec(),

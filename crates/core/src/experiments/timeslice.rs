@@ -64,7 +64,7 @@ pub fn run(
             }
         }
     }
-    let mut cells = runner.run_batch(&jobs).into_iter();
+    let mut cells = runner.run_labeled("timeslice", &jobs).into_iter();
     let mut unflatten = || -> Vec<Vec<Cell>> {
         rates
             .iter()

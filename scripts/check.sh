@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo-wide verification: formatting, lints, build, tests.
+# Repo-wide verification: formatting, lints, build, tests, crash drill.
 #
 # Usage: scripts/check.sh
 #
@@ -8,11 +8,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+# Per-step timeout: a hung cell (or wedged test binary) fails the gate
+# instead of wedging CI forever. Override with CHECK_STEP_TIMEOUT
+# (seconds).
+STEP_TIMEOUT="${CHECK_STEP_TIMEOUT:-1800}"
+step() {
+  echo "==> $*"
+  timeout --kill-after=30 "${STEP_TIMEOUT}" "$@"
+}
 
-echo "==> cargo clippy --workspace --all-targets --all-features -- -D warnings"
-cargo clippy --workspace --all-targets --all-features -- -D warnings
+step cargo fmt --all --check
+
+step cargo clippy --workspace --all-targets --all-features -- -D warnings
 
 # Library code must not unwrap/expect: every fallible path either
 # returns a typed error or panics via a documented invariant assert.
@@ -27,48 +34,46 @@ for crate in "${LIB_CRATES[@]}"; do
     PRINT_DENIES=()
   fi
   echo "==> cargo clippy --lib -p ${crate} (deny unwrap/expect/print)"
-  cargo clippy -q --lib -p "${crate}" -- \
+  timeout --kill-after=30 "${STEP_TIMEOUT}" cargo clippy -q --lib -p "${crate}" -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used \
     "${PRINT_DENIES[@]+"${PRINT_DENIES[@]}"}"
 done
 
 echo "==> cargo build --release (tier-1)"
-cargo build --release
+step cargo build --release
 
 # The in-tree static analyzer: determinism lints, panic discipline, and
 # structural rules (EXPERIMENTS.md § Static analysis). Hard gate — any
 # unwaived finding fails the build.
-echo "==> repro lint"
-./target/release/repro lint --quiet
+step ./target/release/repro lint --quiet
 
 # Model-check every experiment preset's sweep grid against
 # SystemConfig::validate(), so a bad preset fails here, not mid-sweep.
-echo "==> repro lint --configs"
-./target/release/repro lint --configs
+step ./target/release/repro lint --configs
 
 echo "==> cargo test -q (tier-1)"
-cargo test -q
+step cargo test -q
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+step cargo test -q --workspace
 
 echo "==> cargo test -q --test observability --test snapshot_golden (observability gate)"
-cargo test -q --test observability --test snapshot_golden
+step cargo test -q --test observability --test snapshot_golden
 
 echo "==> cargo test -q --features fault (fault-injection suite)"
-cargo test -q --features fault
+step cargo test -q --features fault
 
 echo "==> cargo test -q --test corpus (trace corpus gate: record → replay determinism)"
-cargo test -q --test corpus
+step cargo test -q --test corpus
 
 echo "==> cargo test -q --test corpus --features fault (armed corrupt-block quarantine)"
-cargo test -q --test corpus --features fault
+step cargo test -q --test corpus --features fault
 
 # End-to-end corrupt-block drill through the CLI: record a corpus,
 # verify it clean, smash a byte mid-file, and the verifier must fail.
 echo "==> trace corpus CLI drill (record, verify, corrupt, re-verify)"
 CORPUS_TMP=$(mktemp -d)
-trap 'rm -rf "${CORPUS_TMP}"' EXIT
+DRILL_TMP=$(mktemp -d)
+trap 'rm -rf "${CORPUS_TMP}" "${DRILL_TMP}"' EXIT
 ./target/release/repro trace record --dir "${CORPUS_TMP}" --scale 20000 --nbench 2 >/dev/null
 ./target/release/repro trace verify --dir "${CORPUS_TMP}" >/dev/null
 SHARD=$(ls "${CORPUS_TMP}"/*.rct | head -1)
@@ -79,5 +84,34 @@ if ./target/release/repro trace verify --dir "${CORPUS_TMP}" >/dev/null 2>&1; th
   echo "FAIL: trace verify did not flag a corrupted shard" >&2
   exit 1
 fi
+
+# End-to-end crash drill through the CLI: kill a journaled sweep at the
+# injected die-after-claim crash point, resume it, and require the
+# artifact to be bit-identical to an uninterrupted --jobs 1 run.
+# (table3 is the smallest journaled sweep — table1 is analytic and
+# never touches the runner. This rebuilds the release binary with the
+# fault feature, so it runs after every gate that uses the normal one.)
+echo "==> crash drill (die-after-claim → kill → resume → diff vs clean run)"
+step cargo build --release --features fault
+set +e
+timeout --kill-after=30 "${STEP_TIMEOUT}" ./target/release/repro \
+  --scale 20000 --nbench 2 --jobs 2 --out "${DRILL_TMP}/crash" \
+  --fault die-after-claim table3 >/dev/null 2>&1
+CRASH_CODE=$?
+set -e
+if [[ "${CRASH_CODE}" -ne 137 ]]; then
+  echo "FAIL: injected crash exited ${CRASH_CODE}, expected 137" >&2
+  exit 1
+fi
+step ./target/release/repro --scale 20000 --nbench 2 --jobs 2 \
+  --out "${DRILL_TMP}/crash" --resume table3 >/dev/null
+step ./target/release/repro --scale 20000 --nbench 2 --jobs 1 \
+  --out "${DRILL_TMP}/clean" table3 >/dev/null
+if ! cmp "${DRILL_TMP}/crash/cells.json" "${DRILL_TMP}/clean/cells.json"; then
+  echo "FAIL: resumed cells.json differs from the uninterrupted run" >&2
+  exit 1
+fi
+# Leave the normal (fault-free) binary in place for anything after us.
+step cargo build --release
 
 echo "All checks passed."

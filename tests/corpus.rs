@@ -141,6 +141,7 @@ fn sweep_through_trace_dir_is_bit_identical() {
     let sizes = [256u64, 2048];
     let synth_cells = sweep_sizes(
         &SweepRunner::new(2),
+        "corpus-synth",
         SystemConfig::rampage,
         IssueRate::GHZ1,
         &sizes,
@@ -151,6 +152,7 @@ fn sweep_through_trace_dir_is_bit_identical() {
     CorpusSourceStats::reset();
     let replay_cells = sweep_sizes(
         &SweepRunner::new(2),
+        "corpus-replay",
         SystemConfig::rampage,
         IssueRate::GHZ1,
         &sizes,
