@@ -56,8 +56,14 @@ const SIM_PREFIXES: [&str; 6] = [
     "crates/core/src/obs/",
 ];
 
-/// Individual files that count as simulation code.
-const SIM_FILES: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/metrics.rs"];
+/// Individual files that count as simulation code. `channel.rs` routes
+/// every DRAM request into the flat or banked backend, so its
+/// determinism matters as much as the engine's.
+const SIM_FILES: [&str; 3] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/channel.rs",
+];
 
 /// The timing allowlist: where `Instant::now` is legitimate. The policy
 /// (documented in EXPERIMENTS.md) is that wall-clock may only feed
@@ -241,6 +247,17 @@ mod tests {
 
         let c = classify("crates/core/src/system/mod.rs");
         assert!(c.sim_path && c.is_lib);
+
+        let c = classify("crates/core/src/channel.rs");
+        assert!(
+            c.sim_path && c.is_lib && !c.wall_clock_allowed,
+            "the DRAM channel router is determinism-critical"
+        );
+
+        for f in ["bank.rs", "channel.rs", "mapping.rs"] {
+            let c = classify(&format!("crates/dram/src/{f}"));
+            assert!(c.sim_path && c.is_lib, "banked backend module {f}");
+        }
 
         let c = classify("src/lib.rs");
         assert!(c.is_lib && !c.sim_path);

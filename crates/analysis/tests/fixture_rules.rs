@@ -62,6 +62,35 @@ fn hash_iter_quiet_on_ordered_collections_and_point_lookups() {
 }
 
 #[test]
+fn bank_iter_fires_in_the_banked_backend_modules() {
+    // Per-bank state iterated in hash order: nondeterministic transfer
+    // timing. Both the dram crate's modules and the core channel router
+    // are simulation paths.
+    let text = fixture("bad/bank_iter.rs");
+    let m_iter = loc(&text, "iter()");
+    let for_banks = loc(&text, "banks {");
+    for rel in ["crates/dram/src/bank_iter.rs", "crates/core/src/channel.rs"] {
+        let diags = analyze_one(rel, &text);
+        assert_findings(
+            &diags,
+            &[
+                (RuleId::HashIter, m_iter.0, m_iter.1),
+                (RuleId::HashIter, for_banks.0, for_banks.1),
+            ],
+        );
+    }
+}
+
+#[test]
+fn bank_iter_quiet_on_vec_indexed_banks() {
+    let text = fixture("good/bank_iter.rs");
+    for rel in ["crates/dram/src/bank_iter.rs", "crates/core/src/channel.rs"] {
+        let diags = analyze_one(rel, &text);
+        assert_findings(&diags, &[]);
+    }
+}
+
+#[test]
 fn hash_iter_not_applied_outside_simulation_paths() {
     // The same bad source in a non-simulation crate is out of scope.
     let text = fixture("bad/hash_iter.rs");

@@ -1,0 +1,25 @@
+// Fixture: hash-ordered iteration over per-bank state in the banked
+// DRAM backend (analyzed under a crates/dram/src/ relative path).
+// Bank scheduling order must be deterministic; draining a HashMap of
+// banks makes transfer timing depend on hasher state. Never compiled.
+use std::collections::HashMap;
+
+pub struct Banks {
+    ready_at: HashMap<u64, u64>,
+}
+
+pub fn earliest_ready(b: &Banks) -> u64 {
+    let mut t = u64::MAX;
+    for (_, &ready) in b.ready_at.iter() {
+        t = t.min(ready);
+    }
+    t
+}
+
+pub fn drain(banks: HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in banks {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,20 @@
+// Fixture: the deterministic shape the banked backend actually uses —
+// banks in a Vec indexed by the address mapping's bank field, plus
+// order-free point lookups. Never compiled.
+use std::collections::HashMap;
+
+pub struct Banks {
+    ready_at: Vec<u64>,
+}
+
+pub fn earliest_ready(b: &Banks) -> u64 {
+    let mut t = u64::MAX;
+    for &ready in &b.ready_at {
+        t = t.min(ready);
+    }
+    t
+}
+
+pub fn lookup(timing: &HashMap<u64, u64>, bank: u64) -> Option<u64> {
+    timing.get(&bank).copied()
+}

@@ -1,0 +1,59 @@
+//! DRAM backend bench: per-reference simulation cost of the flat
+//! analytic Direct Rambus model vs the event-driven banked backend, at
+//! both fidelity-relevant unit sizes, plus the raw channel request cost
+//! in isolation. This quantifies what the banked backend's extra
+//! fidelity costs in simulator throughput — the trade the `--dram-backend`
+//! flag exposes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rampage_bench::bench_workload;
+use rampage_core::experiments::run_config;
+use rampage_core::{DramKind, IssueRate, SystemConfig};
+use rampage_dram::{BankedChannel, BankedConfig, Picos};
+
+fn bench_dram(c: &mut Criterion) {
+    let w = bench_workload();
+    let mut g = c.benchmark_group("dram");
+    g.sample_size(10);
+    // Full-system cost: the same RAMpage sweep under each backend.
+    for &size in &[128u64, 4096] {
+        for (backend, kind) in [
+            ("flat", DramKind::Rambus),
+            ("banked", DramKind::banked()),
+            (
+                "banked_degenerate",
+                DramKind::Banked(BankedConfig::flat_equivalent()),
+            ),
+        ] {
+            let mut cfg = SystemConfig::rampage(IssueRate::GHZ1, size);
+            cfg.dram = kind;
+            g.bench_with_input(BenchmarkId::new(backend, size), &cfg, |b, cfg| {
+                b.iter(|| black_box(run_config(cfg, &w)))
+            });
+        }
+    }
+    g.finish();
+
+    // Raw channel cost: one million requests against the banked channel
+    // alone, paper geometry, mixed row locality.
+    let mut g = c.benchmark_group("dram_channel");
+    g.sample_size(10);
+    g.bench_function("banked_requests", |b| {
+        b.iter(|| {
+            let mut ch = BankedChannel::new(BankedConfig::paper());
+            let mut now = Picos::ZERO;
+            for i in 0u64..100_000 {
+                // Alternate hits (same unit) and conflicts (stride
+                // through rows of one bank) like a real miss stream.
+                let addr = (i % 7) * 0x8000;
+                let t = ch.request(now, addr, 1024);
+                now = t.done;
+            }
+            black_box(ch.bus_free())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! The (single) DRAM channel.
 
-use rampage_dram::{DramModel, MemoryDevice, Picos};
+use crate::config::DramKind;
+use rampage_dram::{BankedChannel, DramModel, MemoryDevice, Picos};
 
 /// Serializes transfers on one Direct Rambus channel and tracks when it
 /// frees up.
@@ -84,6 +85,50 @@ impl DramChannel {
     }
 }
 
+/// One channel at either fidelity: the flat analytic model or the
+/// event-driven banked backend.
+#[derive(Debug, Clone)]
+enum Channel {
+    Flat(DramChannel),
+    Banked(Box<BankedChannel>),
+}
+
+impl Channel {
+    fn request(&mut self, now: Picos, bytes: u64, key: u64) -> Transfer {
+        match self {
+            Channel::Flat(ch) => ch.request(now, bytes),
+            Channel::Banked(ch) => {
+                // The simulator addresses DRAM by transfer unit (SRAM
+                // frame / L2 block number), not by byte. Synthesize a
+                // stable pseudo-address so a unit always lands on the
+                // same rows: repeated transfers of the same unit are
+                // row-buffer locality, neighboring units are neighbors
+                // in DRAM.
+                let addr = key.wrapping_mul(bytes.max(1));
+                let t = ch.request(now, addr, bytes);
+                Transfer {
+                    start: t.start,
+                    done: t.done,
+                }
+            }
+        }
+    }
+
+    fn transfers(&self) -> u64 {
+        match self {
+            Channel::Flat(ch) => ch.transfers(),
+            Channel::Banked(ch) => ch.transfers(),
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            Channel::Flat(ch) => ch.bytes(),
+            Channel::Banked(ch) => ch.bytes(),
+        }
+    }
+}
+
 /// A set of independent Rambus channels, interleaved by transfer unit.
 ///
 /// §3.3: "It is also possible to have multiple Rambus channels to
@@ -93,19 +138,29 @@ impl DramChannel {
 /// transfer still pays full latency.
 #[derive(Debug, Clone)]
 pub struct ChannelSet {
-    channels: Vec<DramChannel>,
+    channels: Vec<Channel>,
 }
 
 impl ChannelSet {
-    /// `n` channels over the same device model.
+    /// `n` channels over the given DRAM kind — the flat analytic models
+    /// or the event-driven banked backend, per the config's `dram` axis.
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
-    pub fn new(device: DramModel, n: u32) -> Self {
+    /// Panics if `n` is zero or a banked configuration is invalid;
+    /// `SystemConfig::validate` screens both out before simulation.
+    pub fn new(kind: DramKind, n: u32) -> Self {
         assert!(n > 0, "need at least one channel");
+        let make = |_: u32| match kind {
+            DramKind::Rambus => Channel::Flat(DramChannel::new(DramModel::rambus())),
+            DramKind::RambusPipelined => {
+                Channel::Flat(DramChannel::new(DramModel::rambus_pipelined()))
+            }
+            DramKind::Sdram => Channel::Flat(DramChannel::new(DramModel::sdram())),
+            DramKind::Banked(cfg) => Channel::Banked(Box::new(BankedChannel::new(cfg))),
+        };
         ChannelSet {
-            channels: (0..n).map(|_| DramChannel::new(device)).collect(),
+            channels: (0..n).map(make).collect(),
         }
     }
 
@@ -113,7 +168,7 @@ impl ChannelSet {
     /// (its block or page number) at absolute time `now`.
     pub fn request(&mut self, now: Picos, bytes: u64, key: u64) -> Transfer {
         let n = self.channels.len() as u64;
-        self.channels[(key % n) as usize].request(now, bytes)
+        self.channels[(key % n) as usize].request(now, bytes, key)
     }
 
     /// Number of channels.
@@ -135,6 +190,21 @@ impl ChannelSet {
     pub fn bytes(&self) -> u64 {
         self.channels.iter().map(|c| c.bytes()).sum()
     }
+
+    /// Aggregate row-buffer outcome counters (zeros under flat kinds,
+    /// which have no row buffers).
+    pub fn row_stats(&self) -> rampage_dram::RowStats {
+        let mut total = rampage_dram::RowStats::default();
+        for ch in &self.channels {
+            if let Channel::Banked(b) = ch {
+                let s = b.row_stats();
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.conflicts += s.conflicts;
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +213,7 @@ mod tests {
 
     #[test]
     fn channel_set_parallelizes_distinct_keys() {
-        let mut set = ChannelSet::new(DramModel::rambus(), 2);
+        let mut set = ChannelSet::new(DramKind::Rambus, 2);
         let t1 = set.request(Picos::ZERO, 4096, 0);
         let t2 = set.request(Picos::ZERO, 4096, 1);
         assert_eq!(t1.start, t2.start, "different channels run in parallel");
@@ -156,12 +226,43 @@ mod tests {
 
     #[test]
     fn single_channel_set_serializes_everything() {
-        let mut set = ChannelSet::new(DramModel::rambus(), 1);
+        let mut set = ChannelSet::new(DramKind::Rambus, 1);
         let t1 = set.request(Picos::ZERO, 128, 0);
         let t2 = set.request(Picos::ZERO, 128, 1);
         assert_eq!(t2.start, t1.done);
         assert_eq!(set.len(), 1);
         assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn degenerate_banked_set_matches_flat_bit_for_bit() {
+        use rampage_dram::BankedConfig;
+        let mut flat = ChannelSet::new(DramKind::Rambus, 2);
+        let mut banked = ChannelSet::new(DramKind::Banked(BankedConfig::flat_equivalent()), 2);
+        for (i, (key, bytes)) in [(0u64, 4096u64), (1, 128), (0, 4096), (7, 0), (3, 2048)]
+            .iter()
+            .enumerate()
+        {
+            let now = Picos::from_nanos(i as u64 * 37);
+            assert_eq!(
+                flat.request(now, *bytes, *key),
+                banked.request(now, *bytes, *key),
+                "key {key}, {bytes} B"
+            );
+        }
+        assert_eq!(flat.transfers(), banked.transfers());
+        assert_eq!(flat.bytes(), banked.bytes());
+        assert_eq!(flat.row_stats(), rampage_dram::RowStats::default());
+    }
+
+    #[test]
+    fn banked_set_reports_row_stats() {
+        let mut set = ChannelSet::new(DramKind::banked(), 1);
+        set.request(Picos::ZERO, 128, 5);
+        set.request(Picos::from_micros(1), 128, 5);
+        let rows = set.row_stats();
+        assert!(rows.hits >= 1, "same unit re-hits its row: {rows:?}");
+        assert!(rows.misses >= 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::error::ConfigError;
 use crate::time::IssueRate;
 use rampage_cache::{Geometry, ReplacementPolicy};
-use rampage_dram::DramModel;
+use rampage_dram::{BankedConfig, DramModel};
 use rampage_vm::os::OsCosts;
 use rampage_vm::PageSize;
 
@@ -35,15 +35,44 @@ pub enum DramKind {
     /// The §3.3 SDRAM example (128-bit bus at 10 ns) — used to verify the
     /// paper's claim that it behaves like non-pipelined Rambus.
     Sdram,
+    /// The event-driven bank-aware Direct Rambus backend: per-bank row
+    /// buffers, a row/bank/column address mapping, and structural channel
+    /// pipelining (ROADMAP item 1; `repro --dram-backend banked`).
+    Banked(BankedConfig),
 }
 
 impl DramKind {
-    /// Instantiate the timing model.
-    pub fn model(self) -> DramModel {
+    /// The full-fidelity banked backend with the paper-era RDRAM
+    /// geometry (16 banks × 2 KB rows, open rows, pipelined).
+    pub fn banked() -> Self {
+        DramKind::Banked(BankedConfig::paper())
+    }
+
+    /// The flat analytic timing model behind this kind, when it has one.
+    /// The banked backend is event-driven and has no closed-form model,
+    /// so it returns `None`.
+    pub fn flat_model(self) -> Option<DramModel> {
         match self {
-            DramKind::Rambus => DramModel::rambus(),
-            DramKind::RambusPipelined => DramModel::rambus_pipelined(),
-            DramKind::Sdram => DramModel::sdram(),
+            DramKind::Rambus => Some(DramModel::rambus()),
+            DramKind::RambusPipelined => Some(DramModel::rambus_pipelined()),
+            DramKind::Sdram => Some(DramModel::sdram()),
+            DramKind::Banked(_) => None,
+        }
+    }
+
+    /// One-line device description for trace metadata and logs.
+    pub fn diagnostics(self) -> String {
+        match self {
+            DramKind::Rambus => DramModel::rambus().diagnostics(),
+            DramKind::RambusPipelined => DramModel::rambus_pipelined().diagnostics(),
+            DramKind::Sdram => DramModel::sdram().diagnostics(),
+            DramKind::Banked(b) => format!(
+                "Banked Direct Rambus ({} banks x {} B rows, open rows {}, pipelined {})",
+                b.mapping.banks(),
+                b.mapping.row_bytes(),
+                if b.open_rows { "on" } else { "off" },
+                if b.pipelined { "on" } else { "off" },
+            ),
         }
     }
 }
@@ -404,6 +433,9 @@ impl SystemConfig {
         if self.dram_channels == 0 {
             return Err(ConfigError::ZeroDramChannels);
         }
+        if let DramKind::Banked(b) = self.dram {
+            b.validate().map_err(ConfigError::Dram)?;
+        }
         if self.quantum == 0 {
             return Err(ConfigError::ZeroQuantum);
         }
@@ -593,6 +625,24 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::ZeroCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn banked_dram_axis_validates() {
+        use crate::error::ConfigError;
+        let mut cfg = SystemConfig::rampage(IssueRate::GHZ1, 1024);
+        cfg.dram = DramKind::banked();
+        cfg.validate().expect("paper banked geometry is valid");
+        if let DramKind::Banked(b) = &mut cfg.dram {
+            b.timing.per_pair = rampage_dram::Picos::ZERO;
+        }
+        assert!(matches!(cfg.validate(), Err(ConfigError::Dram(_))));
+
+        assert!(DramKind::banked().flat_model().is_none());
+        assert!(DramKind::Rambus.flat_model().is_some());
+        let d = DramKind::banked().diagnostics();
+        assert!(d.contains("16 banks") && d.contains("2048 B rows"), "{d}");
+        assert!(DramKind::Rambus.diagnostics().contains("Direct Rambus"));
     }
 
     #[test]

@@ -140,6 +140,8 @@ pub enum ConfigError {
         /// Which optional structure.
         what: &'static str,
     },
+    /// The banked DRAM backend's geometry or timing is unusable.
+    Dram(rampage_dram::DramConfigError),
 }
 
 impl fmt::Display for ConfigError {
@@ -194,6 +196,7 @@ impl fmt::Display for ConfigError {
                     "{what} has 0 entries; omit it (None) or give it capacity"
                 )
             }
+            ConfigError::Dram(e) => write!(f, "banked DRAM backend: {e}"),
         }
     }
 }

@@ -170,6 +170,16 @@ pub fn preset_grids() -> Vec<PresetGrid> {
         cells,
     });
 
+    // dramdiff: flat-vs-banked error quantification — the exact configs
+    // come from the experiment module so the grid cannot drift.
+    grids.push(PresetGrid {
+        name: "dramdiff",
+        cells: crate::experiments::dram_backend::grid_configs(
+            IssueRate::GHZ1,
+            &crate::experiments::dram_backend::DIVERGENCE_SIZES,
+        ),
+    });
+
     // diag: the three-system detail table at 1 GHz.
     let mut cells = Vec::new();
     for &size in &PAPER_SIZES {
@@ -242,6 +252,11 @@ mod tests {
         assert_eq!(shape("perbench"), sizes);
         assert_eq!(shape("anatomy"), sizes * 2);
         assert_eq!(shape("diag"), sizes * 3);
+        // dramdiff: sizes × {rampage, baseline} × {flat, banked}.
+        assert_eq!(
+            shape("dramdiff"),
+            crate::experiments::dram_backend::DIVERGENCE_SIZES.len() * 2 * 2
+        );
     }
 
     #[test]

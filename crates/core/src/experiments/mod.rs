@@ -12,6 +12,7 @@
 //! | [`table5`] | Table 5 — 2-way associative L2 with context switches |
 //! | [`fig5`] | Figure 5 — RAMpage-with-switches vs 2-way L2, relative |
 //! | [`ablations`] | §6.3 future work — big TLB, aggressive L1, pipelined Rambus, standby list, SDRAM |
+//! | [`dram_backend`] | Flat-vs-banked DRAM error quantification (ROADMAP item 1) |
 //! | [`per_benchmark`] | §6.3's per-application page-size study (the variable-page-size case) |
 //! | [`anatomy`] | 3C classification of L2 misses — the conflicts full associativity removes |
 //! | [`timeslice`] | §5.5's time-slice conjecture: reference-based vs real-time quanta |
@@ -27,6 +28,7 @@ mod runner;
 
 pub mod ablations;
 pub mod anatomy;
+pub mod dram_backend;
 pub mod fig5;
 pub mod figures;
 pub mod grids;

@@ -48,7 +48,7 @@ pub use journal::{
 pub use lease::{CellView, ClaimDecision, ClaimView, JournalState, LeaseConfig};
 pub use watchdog::{Watchdog, WatchdogConfig, STALL_PANIC_PREFIX};
 
-use crate::config::SystemConfig;
+use crate::config::{DramKind, SystemConfig};
 use crate::error::{CacheIoError, InvariantError, RampageError};
 use crate::experiments::common::{run_config, Cell, Workload};
 use rampage_json::{obj, Json, ToJson};
@@ -784,6 +784,7 @@ pub struct SweepRunner {
     durable: Option<Durable>,
     shutdown: Option<&'static AtomicBool>,
     interrupted: AtomicBool,
+    dram_override: Option<DramKind>,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -801,6 +802,7 @@ impl std::fmt::Debug for SweepRunner {
                 &self.shutdown.map(|f| f.load(Ordering::Relaxed)),
             )
             .field("interrupted", &self.interrupted)
+            .field("dram_override", &self.dram_override)
             .finish()
     }
 }
@@ -902,6 +904,21 @@ impl SweepRunner {
     pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
         self.watchdog = Some(Watchdog::new(cfg));
         self
+    }
+
+    /// Force every job this runner executes onto the given DRAM backend
+    /// (the `repro --dram-backend` knob): each submitted job's
+    /// `cfg.dram` is rewritten *before* fingerprinting, so caching,
+    /// journaling, and persisted `cells.json` files key on the backend
+    /// actually simulated, and flat-run caches are never polluted.
+    pub fn with_dram(mut self, kind: DramKind) -> Self {
+        self.dram_override = Some(kind);
+        self
+    }
+
+    /// The DRAM backend override, if one is installed.
+    pub fn dram_override(&self) -> Option<DramKind> {
+        self.dram_override
     }
 
     /// Install a shutdown flag (typically set by a SIGINT/SIGTERM
@@ -1073,6 +1090,23 @@ impl SweepRunner {
     /// artifact's name) that journaled claim records carry, so a
     /// journal reads as a per-artifact work log.
     pub fn run_labeled(&self, label: &str, jobs: &[Job]) -> Vec<Cell> {
+        // Apply the DRAM-backend override before fingerprinting, so the
+        // cache keys on what actually runs.
+        let rewritten: Vec<Job>;
+        let jobs = match self.dram_override {
+            Some(kind) => {
+                rewritten = jobs
+                    .iter()
+                    .map(|j| {
+                        let mut j = *j;
+                        j.cfg.dram = kind;
+                        j
+                    })
+                    .collect();
+                &rewritten[..]
+            }
+            None => jobs,
+        };
         let batch_start = std::time::Instant::now();
         let mut slots: Vec<Option<Cell>> = vec![None; jobs.len()];
         // First occurrence of each uncached fingerprint, in order.

@@ -64,7 +64,6 @@ impl Conventional {
             HierarchyKind::Conventional(l2) => l2,
             HierarchyKind::Rampage(_) => panic!("conventional system given a RAMpage config"),
         };
-        let dram = cfg.dram.model();
         let os_layout = OsLayout::at(PhysAddr(KERNEL_BASE));
         // The page table sits after the OS code + PCBs in kernel space.
         let table_base = PhysAddr(KERNEL_BASE + (1 << 20));
@@ -83,7 +82,7 @@ impl Conventional {
             tlb: Tlb::new(cfg.tlb.sets, cfg.tlb.ways, 0x71b_5eed),
             page_table,
             os: OsModel::new(cfg.os_costs, os_layout),
-            channel: ChannelSet::new(dram, cfg.dram_channels),
+            channel: ChannelSet::new(cfg.dram, cfg.dram_channels),
             handler_buf: Vec::with_capacity(1024),
             l2_block: l2cfg.block,
             victim: cfg

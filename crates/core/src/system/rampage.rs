@@ -70,7 +70,6 @@ impl Rampage {
             HierarchyKind::Rampage(r) => r,
             HierarchyKind::Conventional(_) => panic!("RAMpage system given a cache config"),
         };
-        let dram = cfg.dram.model();
         let page = rcfg.page_size;
         let num_frames = rcfg.num_frames();
 
@@ -114,7 +113,7 @@ impl Rampage {
             standby: rcfg.standby_pages.map(StandbyList::new),
             page,
             os: OsModel::new(cfg.os_costs, os_layout),
-            channel: ChannelSet::new(dram, cfg.dram_channels),
+            channel: ChannelSet::new(cfg.dram, cfg.dram_channels),
             switch_on_miss: cfg.switch_on_miss,
             handler_buf: Vec::with_capacity(1024),
             pinned_frames,

@@ -11,6 +11,14 @@ pub enum DramConfigError {
     ZeroBusWidth,
     /// An unclocked bus never completes a beat.
     ZeroBusCycle,
+    /// A DRAM row must hold at least one data pair.
+    ZeroColumnBits,
+    /// Row + bank + column bits cannot exceed the 64-bit address.
+    MappingTooWide,
+    /// An unclocked banked channel never moves a data pair.
+    ZeroPairTime,
+    /// A closed-page access (tRCD + tCAS) must take time.
+    ZeroAccessTime,
 }
 
 impl fmt::Display for DramConfigError {
@@ -34,6 +42,34 @@ impl fmt::Display for DramConfigError {
                     "bus cycle time must be positive (the paper's SDRAM bus clocks at 10 ns)"
                 )
             }
+            DramConfigError::ZeroColumnBits => {
+                write!(
+                    f,
+                    "column bits must be positive (the paper-era RDRAM geometry uses 11-bit \
+                     columns / 2 KB rows)"
+                )
+            }
+            DramConfigError::MappingTooWide => {
+                write!(
+                    f,
+                    "address mapping exceeds 64 bits (the paper-era RDRAM geometry uses 11 \
+                     column + 4 bank + 49 row bits)"
+                )
+            }
+            DramConfigError::ZeroPairTime => {
+                write!(
+                    f,
+                    "data pair time must be positive (the paper's Direct Rambus moves 2 bytes \
+                     every 1.25 ns)"
+                )
+            }
+            DramConfigError::ZeroAccessTime => {
+                write!(
+                    f,
+                    "tRCD + tCAS must be positive (the paper's 50 ns initial latency \
+                     decomposes as 30 ns + 20 ns)"
+                )
+            }
         }
     }
 }
@@ -50,10 +86,16 @@ mod tests {
             DramConfigError::ZeroDiskRate,
             DramConfigError::ZeroBusWidth,
             DramConfigError::ZeroBusCycle,
+            DramConfigError::ZeroColumnBits,
+            DramConfigError::ZeroPairTime,
+            DramConfigError::ZeroAccessTime,
         ] {
             let msg = e.to_string();
             assert!(msg.contains("must be positive"), "{msg}");
             assert!(msg.contains("paper"), "says what a good value is: {msg}");
         }
+        let msg = DramConfigError::MappingTooWide.to_string();
+        assert!(msg.contains("64 bits"), "{msg}");
+        assert!(msg.contains("paper"), "says what a good value is: {msg}");
     }
 }

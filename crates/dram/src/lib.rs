@@ -17,6 +17,17 @@
 //! * [`MemoryDevice`] — the common transfer-time interface;
 //! * [`efficiency`] / [`efficiency_table`] — Table 1 itself.
 //!
+//! Beyond the paper's flat arithmetic, the crate also carries an
+//! event-driven, bank-aware Direct Rambus backend ([`BankedChannel`],
+//! configured by [`BankedConfig`]): per-bank row-buffer state
+//! ([`Bank`], hit/miss/conflict timing via [`BankTiming`]), a
+//! configurable row/bank/column address mapping ([`AddressMapping`]),
+//! and structural channel pipelining that replaces the flat model's
+//! 95 %-of-peak approximation. Configured degenerately
+//! ([`BankedConfig::flat_equivalent`]) it reproduces the flat model
+//! bit-for-bit — the conformance contract `tests/dram_backend.rs`
+//! enforces.
+//!
 //! All times are integer picoseconds ([`Picos`]) to keep the simulator
 //! exact and reproducible.
 //!
@@ -32,19 +43,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bank;
+mod channel;
 mod device;
 mod disk;
 mod efficiency;
 mod error;
+mod mapping;
 mod model;
 mod rambus;
 mod sdram;
 mod time;
 
+pub use bank::{Bank, BankTiming, BankedConfig, RowOutcome};
+pub use channel::{BankedChannel, BankedTransfer, RowStats};
 pub use device::MemoryDevice;
 pub use disk::Disk;
 pub use efficiency::{efficiency, efficiency_table, EfficiencyRow, TABLE1_SIZES};
 pub use error::DramConfigError;
+pub use mapping::{AddressMapping, BankPlacement, DramCoord};
 pub use model::DramModel;
 pub use rambus::DirectRambus;
 pub use sdram::Sdram;

@@ -1,0 +1,238 @@
+//! DRAM address mapping: how a physical byte address decomposes into
+//! (row, bank, column) coordinates.
+//!
+//! The paper's flat model has no notion of banks or rows, so the choice
+//! of mapping is exactly the knob the banked backend adds. Direct
+//! Rambus 64-Mbit RDRAM parts expose 16 banks of 2 KB rows, which the
+//! [`AddressMapping::paper`] geometry mirrors: 11 column bits, 4 bank
+//! bits, and the remaining 49 bits of row. Two bank placements are
+//! supported — bank bits just above the column (consecutive rows rotate
+//! through banks, the RDRAM default) or above the row field (each bank
+//! owns a contiguous slab).
+
+use crate::error::DramConfigError;
+
+/// Where the bank-select bits sit relative to the row bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankPlacement {
+    /// Bank bits directly above the column: `[row | bank | col]`.
+    /// Sequential rows land in different banks (interleaved).
+    LowAboveColumn,
+    /// Bank bits above the row field: `[bank | row | col]`. Each bank
+    /// owns a contiguous address slab.
+    HighAboveRow,
+}
+
+/// A (row, bank, column) coordinate produced by [`AddressMapping::decompose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Row index within the bank.
+    pub row: u64,
+    /// Bank index (`< 2^bank_bits`).
+    pub bank: u64,
+    /// Byte offset within the row (`< 2^col_bits`).
+    pub col: u64,
+}
+
+/// A bitfield address mapping: `col_bits` of column, `bank_bits` of
+/// bank, `row_bits` of row, placed per [`BankPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressMapping {
+    /// Bits of byte-column: the row holds `2^col_bits` bytes.
+    pub col_bits: u32,
+    /// Bits of bank select: the device has `2^bank_bits` banks.
+    pub bank_bits: u32,
+    /// Bits of row index per bank.
+    pub row_bits: u32,
+    /// Where the bank bits sit.
+    pub placement: BankPlacement,
+}
+
+/// Shift left, treating shifts of 64+ bits as producing zero (the field
+/// being shifted is empty in that case).
+#[inline]
+fn shl(v: u64, n: u32) -> u64 {
+    if n >= 64 {
+        0
+    } else {
+        v << n
+    }
+}
+
+/// Shift right with the same 64+ convention.
+#[inline]
+fn shr(v: u64, n: u32) -> u64 {
+    if n >= 64 {
+        0
+    } else {
+        v >> n
+    }
+}
+
+/// A mask of the low `n` bits.
+#[inline]
+fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+impl AddressMapping {
+    /// The Direct RDRAM-like geometry used by [`crate::BankedConfig::paper`]:
+    /// 2 KB rows (11 column bits), 16 banks (4 bank bits), interleaved
+    /// placement, with the remaining 49 bits as row index.
+    pub fn paper() -> Self {
+        AddressMapping {
+            col_bits: 11,
+            bank_bits: 4,
+            row_bits: 49,
+            placement: BankPlacement::LowAboveColumn,
+        }
+    }
+
+    /// A degenerate single-bank mapping whose row field swallows every
+    /// non-column bit — used by [`crate::BankedConfig::flat_equivalent`].
+    pub fn single_bank() -> Self {
+        AddressMapping {
+            col_bits: 12,
+            bank_bits: 0,
+            row_bits: 52,
+            placement: BankPlacement::LowAboveColumn,
+        }
+    }
+
+    /// Check the geometry is usable.
+    ///
+    /// # Errors
+    ///
+    /// [`DramConfigError::ZeroColumnBits`] if the row holds fewer than
+    /// two bytes (a Rambus data pair must fit in one row), and
+    /// [`DramConfigError::MappingTooWide`] if the three fields exceed
+    /// 64 address bits.
+    pub fn validate(&self) -> Result<(), DramConfigError> {
+        if self.col_bits == 0 {
+            return Err(DramConfigError::ZeroColumnBits);
+        }
+        let width = self.col_bits as u64 + self.bank_bits as u64 + self.row_bits as u64;
+        if width > 64 {
+            return Err(DramConfigError::MappingTooWide);
+        }
+        Ok(())
+    }
+
+    /// Bytes per row: `2^col_bits`.
+    #[inline]
+    pub fn row_bytes(&self) -> u64 {
+        shl(1, self.col_bits)
+    }
+
+    /// Number of banks: `2^bank_bits`.
+    #[inline]
+    pub fn banks(&self) -> u64 {
+        shl(1, self.bank_bits)
+    }
+
+    /// Total mapped address bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.col_bits + self.bank_bits + self.row_bits
+    }
+
+    /// Split a byte address into (row, bank, column). Bits above
+    /// [`AddressMapping::width`] are ignored, so any `u64` is a valid
+    /// input.
+    #[inline]
+    pub fn decompose(&self, addr: u64) -> DramCoord {
+        let col = addr & mask(self.col_bits);
+        match self.placement {
+            BankPlacement::LowAboveColumn => DramCoord {
+                col,
+                bank: shr(addr, self.col_bits) & mask(self.bank_bits),
+                row: shr(addr, self.col_bits + self.bank_bits) & mask(self.row_bits),
+            },
+            BankPlacement::HighAboveRow => DramCoord {
+                col,
+                row: shr(addr, self.col_bits) & mask(self.row_bits),
+                bank: shr(addr, self.col_bits + self.row_bits) & mask(self.bank_bits),
+            },
+        }
+    }
+
+    /// Reassemble a byte address from (row, bank, column) — the inverse
+    /// of [`AddressMapping::decompose`] for in-range coordinates.
+    #[inline]
+    pub fn compose(&self, coord: DramCoord) -> u64 {
+        let col = coord.col & mask(self.col_bits);
+        let bank = coord.bank & mask(self.bank_bits);
+        let row = coord.row & mask(self.row_bits);
+        match self.placement {
+            BankPlacement::LowAboveColumn => {
+                shl(row, self.col_bits + self.bank_bits) | shl(bank, self.col_bits) | col
+            }
+            BankPlacement::HighAboveRow => {
+                shl(bank, self.col_bits + self.row_bits) | shl(row, self.col_bits) | col
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_is_rdram_like() {
+        let m = AddressMapping::paper();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.row_bytes(), 2048);
+        assert_eq!(m.banks(), 16);
+        assert_eq!(m.width(), 64);
+    }
+
+    #[test]
+    fn decompose_compose_round_trip() {
+        for m in [AddressMapping::paper(), AddressMapping::single_bank()] {
+            for addr in [0u64, 1, 2047, 2048, 0xdead_beef, u64::MAX] {
+                assert_eq!(m.compose(m.decompose(addr)), addr, "{m:?} addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_placement_round_trips_within_width() {
+        let m = AddressMapping {
+            col_bits: 8,
+            bank_bits: 2,
+            row_bits: 10,
+            placement: BankPlacement::HighAboveRow,
+        };
+        assert!(m.validate().is_ok());
+        for addr in 0..(1u64 << m.width()) {
+            if addr % 997 == 0 {
+                assert_eq!(m.compose(m.decompose(addr)), addr);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_placement_rotates_banks_across_rows() {
+        let m = AddressMapping::paper();
+        let a = m.decompose(0);
+        let b = m.decompose(m.row_bytes());
+        assert_eq!(a.bank, 0);
+        assert_eq!(b.bank, 1, "next row lands in the next bank");
+        assert_eq!(a.row, b.row, "same row index, different bank");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_geometries() {
+        let mut m = AddressMapping::paper();
+        m.col_bits = 0;
+        assert_eq!(m.validate(), Err(DramConfigError::ZeroColumnBits));
+        let mut m = AddressMapping::paper();
+        m.row_bits = 64;
+        assert_eq!(m.validate(), Err(DramConfigError::MappingTooWide));
+    }
+}

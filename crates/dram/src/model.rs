@@ -50,9 +50,21 @@ impl DramModel {
         format!(
             "{} ({} ns initial latency, {:.1} GB/s peak)",
             self.name(),
-            self.initial_latency().0 / 1000,
+            ns_exact(self.initial_latency()),
             self.peak_bandwidth() / 1e9,
         )
+    }
+}
+
+/// Render a duration in nanoseconds without truncating sub-nanosecond
+/// remainders: whole nanoseconds print as integers, anything finer keeps
+/// its (exact, since `Picos` is integral) fractional digits.
+fn ns_exact(p: Picos) -> String {
+    if p.0.is_multiple_of(1000) {
+        format!("{}", p.0 / 1000)
+    } else {
+        let s = format!("{:.3}", p.as_nanos_f64());
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
     }
 }
 
@@ -110,6 +122,19 @@ mod tests {
         assert!(d.contains("Direct Rambus"), "{d}");
         assert!(d.contains("50 ns"), "{d}");
         assert!(d.contains("GB/s"), "{d}");
+    }
+
+    #[test]
+    fn diagnostics_keep_sub_nanosecond_latency() {
+        // 51.25 ns initial latency: integer division used to truncate
+        // this to "51 ns".
+        let d = DramModel::Sdram(Sdram::new(Picos(51_250), 16, Picos::from_nanos(10)));
+        let text = d.diagnostics();
+        assert!(text.contains("51.25 ns"), "{text}");
+        // Whole nanoseconds still print as integers.
+        assert_eq!(ns_exact(Picos::from_nanos(50)), "50");
+        assert_eq!(ns_exact(Picos(1250)), "1.25");
+        assert_eq!(ns_exact(Picos(1)), "0.001");
     }
 
     #[test]

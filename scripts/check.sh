@@ -68,6 +68,19 @@ step cargo test -q --test corpus
 echo "==> cargo test -q --test corpus --features fault (armed corrupt-block quarantine)"
 step cargo test -q --test corpus --features fault
 
+# Banked-backend smoke: the same sweep at the other DRAM fidelity, plus
+# the dramdiff ablation, whose divergence summary must land in
+# metrics.json (the tentpole contract of the banked backend).
+echo "==> banked DRAM backend smoke (--dram-backend banked + dramdiff divergence)"
+BANKED_TMP=$(mktemp -d)
+step ./target/release/repro --scale 20000 --nbench 2 --dram-backend banked \
+  --out "${BANKED_TMP}" table3 dramdiff >/dev/null
+if ! grep -q '"dram_divergence"' "${BANKED_TMP}/metrics.json"; then
+  echo "FAIL: dramdiff did not record dram_divergence in metrics.json" >&2
+  exit 1
+fi
+rm -rf "${BANKED_TMP}"
+
 # End-to-end corrupt-block drill through the CLI: record a corpus,
 # verify it clean, smash a byte mid-file, and the verifier must fail.
 echo "==> trace corpus CLI drill (record, verify, corrupt, re-verify)"

@@ -14,7 +14,7 @@
 //! repro lint --configs [--json]
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
-//!            ablations perbench diag all
+//!            ablations perbench diag dramdiff all
 //! ```
 //!
 //! `--scale N` divides the paper's 1.1-billion-reference trace volume
@@ -67,10 +67,10 @@
 //! cells; 4 interrupted by SIGINT/SIGTERM — partial, resumable.
 
 use rampage_core::experiments::{
-    ablations, anatomy, fig5, figures, per_benchmark, table1, table2, table3, table4, table5,
-    timeslice, LeaseConfig, SweepRunner, WatchdogConfig, Workload, PAPER_SIZES,
+    ablations, anatomy, dram_backend, fig5, figures, per_benchmark, table1, table2, table3, table4,
+    table5, timeslice, LeaseConfig, SweepRunner, WatchdogConfig, Workload, PAPER_SIZES,
 };
-use rampage_core::IssueRate;
+use rampage_core::{DramKind, IssueRate};
 use rampage_json::{obj, Json, ToJson};
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -95,6 +95,7 @@ struct Options {
     stall_floor_ms: Option<u64>,
     stall_retries: Option<u32>,
     fault_specs: Vec<String>,
+    dram_banked: bool,
     artifacts: Vec<String>,
 }
 
@@ -140,6 +141,7 @@ fn parse_args() -> Result<Options, String> {
         stall_floor_ms: None,
         stall_retries: None,
         fault_specs: Vec::new(),
+        dram_banked: false,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -209,6 +211,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.fault_specs
                     .push(args.next().ok_or("--fault needs a spec")?);
             }
+            "--dram-backend" => {
+                let v = args.next().ok_or("--dram-backend needs flat or banked")?;
+                opts.dram_banked = match v.as_str() {
+                    "flat" => false,
+                    "banked" => true,
+                    other => return Err(format!("bad dram-backend: {other} (flat|banked)")),
+                };
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -237,8 +247,8 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str = "usage: repro [--scale N] [--nbench N] [--jobs N] [--out DIR] \
 [--trace-dir DIR] [--max-cell-failures N] [--trace-events PATH] [--trace-cap N] \
 [--resume] [--owner-id ID] [--no-journal] [--watchdog] [--stall-floor-ms N] \
-[--stall-retries N] \
-<table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|all>...\n\
+[--stall-retries N] [--dram-backend flat|banked] \
+<table1|table2|table3|fig2|fig3|fig4|table4|table5|fig5|ablations|perbench|anatomy|timeslice|dramdiff|all>...\n\
        repro trace <record|info|verify|import-din> (see repro trace --help)\n\
        repro lint [--configs] [--json] (see repro lint --help)\n\
 exit codes: 0 clean, 1 hard failure, 2 usage, 3 tolerated failed cells, \
@@ -294,6 +304,16 @@ fn main() {
         );
     });
     runner = runner.with_shutdown_flag(&SHUTDOWN);
+    if opts.dram_banked {
+        // Re-point every preset sweep at the banked Direct Rambus
+        // backend; fingerprints change with the config, so cached flat
+        // cells are never reused for banked runs.
+        eprintln!(
+            "# dram backend: banked ({})",
+            DramKind::banked().diagnostics()
+        );
+        runner = runner.with_dram(DramKind::banked());
+    }
     if opts.watchdog {
         let mut cfg = WatchdogConfig::default();
         if let Some(ms) = opts.stall_floor_ms {
@@ -382,6 +402,7 @@ fn main() {
             "perbench",
             "anatomy",
             "timeslice",
+            "dramdiff",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -392,6 +413,8 @@ fn main() {
     // re-deriving them per artifact is free because every cell comes out
     // of the runner's cache after the first sweep.
     let mut json: BTreeMap<String, Json> = BTreeMap::new();
+    // The dramdiff study's compact summary, folded into metrics.json.
+    let mut dram_divergence: Option<Json> = None;
 
     let needs_t3 = |a: &str| matches!(a, "table3" | "fig2" | "fig3" | "fig4" | "table4" | "fig5");
     let get_t3 = |runner: &SweepRunner, w: &Workload| -> table3::Table3 {
@@ -513,6 +536,21 @@ fn main() {
                 json.insert("ablations".into(), a.to_json());
                 a.render()
             }
+            "dramdiff" => {
+                // Same per-program volume as perbench: each Table 2
+                // program alone, through both backends.
+                let refs = (61_000_000 / opts.scale).max(10_000);
+                let s = dram_backend::run(
+                    &runner,
+                    IssueRate::GHZ1,
+                    &dram_backend::DIVERGENCE_SIZES,
+                    refs,
+                    0x7a9e,
+                );
+                json.insert("dramdiff".into(), s.to_json());
+                dram_divergence = Some(s.metrics_json());
+                s.render()
+            }
             other => {
                 eprintln!("unknown artifact: {other}\n{USAGE}");
                 std::process::exit(2);
@@ -551,7 +589,7 @@ fn main() {
         println!("{}", out.report());
         let metadata = vec![
             ("config".to_string(), cfg.label().to_json()),
-            ("dram".to_string(), cfg.dram.model().diagnostics().to_json()),
+            ("dram".to_string(), cfg.dram.diagnostics().to_json()),
             ("trace_cap".to_string(), (opts.trace_cap as u64).to_json()),
             ("events_dropped".to_string(), out.events_dropped.to_json()),
         ];
@@ -612,9 +650,11 @@ fn main() {
             }
         }
         let mpath = format!("{dir}/metrics.json");
-        match std::fs::File::create(&mpath)
-            .and_then(|mut f| writeln!(f, "{}", runner.telemetry_json().pretty()))
-        {
+        let mut mdoc = runner.telemetry_json();
+        if let (Some(d), Json::Obj(pairs)) = (&dram_divergence, &mut mdoc) {
+            pairs.push(("dram_divergence".to_string(), d.clone()));
+        }
+        match std::fs::File::create(&mpath).and_then(|mut f| writeln!(f, "{}", mdoc.pretty())) {
             Ok(()) => eprintln!("# wrote {mpath}"),
             Err(e) => {
                 eprintln!("# WARNING: could not write {mpath}: {e}");
