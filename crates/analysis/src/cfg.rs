@@ -1,0 +1,267 @@
+//! Per-function control-flow graphs over the [`crate::ast`] statement
+//! tree.
+//!
+//! Blocks hold a sequence of [`Event`]s — straight-line statements,
+//! branch conditions, and match-arm pattern bindings — and edges follow
+//! Rust's structured control flow (`if`/`else`, loops with `break`/
+//! `continue`, `match`, early `return`). Expression-position control
+//! flow ([`crate::ast::ExprKind::BlockExpr`]) is *not* expanded into
+//! blocks: rule passes walk those nested statements linearly, which is
+//! conservative but keeps the graph small and loop-free where it
+//! matters (the protocol-conformance pass needs path precision for
+//! statement-level branches, which this provides).
+
+use crate::ast::{Arena, Block as AstBlock, ExprId, Stmt, StmtId};
+
+/// One event inside a basic block, in execution order.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// A straight-line statement (let, expression, return, …).
+    Stmt(StmtId),
+    /// A branch condition / loop condition / match scrutinee / for-loop
+    /// iterator, evaluated before the block's successors fork.
+    Cond(ExprId),
+    /// Entering arm `arm` of the `match` statement `stmt`: the arm's
+    /// pattern bindings take the scrutinee's value.
+    ArmBind {
+        /// The match statement.
+        stmt: StmtId,
+        /// Which arm (index into its `arms`).
+        arm: usize,
+    },
+}
+
+/// One basic block.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Events in execution order.
+    pub events: Vec<Event>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A function's control-flow graph. Block 0 is the entry; blocks with
+/// no successors exit the function.
+#[derive(Debug, Default)]
+pub struct Cfg {
+    /// All blocks; indices are stable.
+    pub blocks: Vec<BasicBlock>,
+}
+
+/// Build the CFG of one function body.
+pub fn build(arena: &Arena, body: &AstBlock) -> Cfg {
+    let mut b = Builder {
+        arena,
+        cfg: Cfg::default(),
+        loops: Vec::new(),
+    };
+    let entry = b.new_block();
+    let end = b.lower_block(body, entry);
+    let _ = end;
+    b.cfg
+}
+
+struct Builder<'a> {
+    arena: &'a Arena,
+    cfg: Cfg,
+    /// Stack of `(continue_target, break_target)` for enclosing loops.
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.cfg.blocks.push(BasicBlock::default());
+        self.cfg.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if let Some(blk) = self.cfg.blocks.get_mut(from) {
+            if !blk.succs.contains(&to) {
+                blk.succs.push(to);
+            }
+        }
+    }
+
+    fn event(&mut self, blk: usize, ev: Event) {
+        if let Some(b) = self.cfg.blocks.get_mut(blk) {
+            b.events.push(ev);
+        }
+    }
+
+    /// Lower the statements of `blk_ast` starting in CFG block `cur`;
+    /// returns the block control falls out of (a fresh unreachable
+    /// block after a diverging statement).
+    fn lower_block(&mut self, blk_ast: &AstBlock, mut cur: usize) -> usize {
+        for &sid in &blk_ast.stmts {
+            cur = self.lower_stmt(sid, cur);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, sid: StmtId, cur: usize) -> usize {
+        match self.arena.stmt(sid) {
+            Stmt::Let { .. } | Stmt::Expr(_) | Stmt::Item | Stmt::Empty => {
+                self.event(cur, Event::Stmt(sid));
+                cur
+            }
+            Stmt::Return(_) => {
+                self.event(cur, Event::Stmt(sid));
+                // No successors: control exits the function.
+                self.new_block()
+            }
+            Stmt::Break => {
+                self.event(cur, Event::Stmt(sid));
+                if let Some(&(_, brk)) = self.loops.last() {
+                    self.edge(cur, brk);
+                }
+                self.new_block()
+            }
+            Stmt::Continue => {
+                self.event(cur, Event::Stmt(sid));
+                if let Some(&(cont, _)) = self.loops.last() {
+                    self.edge(cur, cont);
+                }
+                self.new_block()
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                els,
+            } => {
+                self.event(cur, Event::Cond(*cond));
+                let then_entry = self.new_block();
+                self.edge(cur, then_entry);
+                let join = self.new_block();
+                let then_blk = then_blk.clone();
+                let els = els.clone();
+                let then_end = self.lower_block(&then_blk, then_entry);
+                self.edge(then_end, join);
+                match els {
+                    Some(eb) => {
+                        let else_entry = self.new_block();
+                        self.edge(cur, else_entry);
+                        let else_end = self.lower_block(&eb, else_entry);
+                        self.edge(else_end, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            Stmt::While { cond, body, .. } => {
+                let cond = *cond;
+                let body = body.clone();
+                let head = self.new_block();
+                self.edge(cur, head);
+                self.event(head, Event::Cond(cond));
+                let body_entry = self.new_block();
+                let exit = self.new_block();
+                self.edge(head, body_entry);
+                self.edge(head, exit);
+                self.loops.push((head, exit));
+                let body_end = self.lower_block(&body, body_entry);
+                self.loops.pop();
+                self.edge(body_end, head);
+                exit
+            }
+            Stmt::Loop { body, .. } => {
+                let body = body.clone();
+                let head = self.new_block();
+                self.edge(cur, head);
+                let exit = self.new_block();
+                self.loops.push((head, exit));
+                let body_end = self.lower_block(&body, head);
+                self.loops.pop();
+                self.edge(body_end, head);
+                exit
+            }
+            Stmt::For { iter, body, .. } => {
+                let iter = *iter;
+                let body = body.clone();
+                self.event(cur, Event::Cond(iter));
+                let head = self.new_block();
+                self.edge(cur, head);
+                let body_entry = self.new_block();
+                let exit = self.new_block();
+                self.edge(head, body_entry);
+                self.edge(head, exit);
+                self.loops.push((head, exit));
+                // The loop pattern binds from the iterated expression.
+                self.event(body_entry, Event::ArmBind { stmt: sid, arm: 0 });
+                let body_end = self.lower_block(&body, body_entry);
+                self.loops.pop();
+                self.edge(body_end, head);
+                exit
+            }
+            Stmt::Match { scrutinee, arms } => {
+                self.event(cur, Event::Cond(*scrutinee));
+                let join = self.new_block();
+                let arms_cloned: Vec<AstBlock> = arms.iter().map(|(_, b)| b.clone()).collect();
+                if arms_cloned.is_empty() {
+                    self.edge(cur, join);
+                }
+                for (ix, arm_body) in arms_cloned.iter().enumerate() {
+                    let entry = self.new_block();
+                    self.edge(cur, entry);
+                    self.event(entry, Event::ArmBind { stmt: sid, arm: ix });
+                    let end = self.lower_block(arm_body, entry);
+                    self.edge(end, join);
+                }
+                join
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::tokenize;
+
+    fn cfg_of(src: &str) -> (crate::ast::FileAst, Cfg) {
+        let toks = tokenize(src);
+        let filtered: Vec<&crate::lexer::Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+        let ast = parse(&filtered);
+        // invariant: the test sources below each declare exactly one fn
+        assert!(!ast.fns.is_empty(), "no fn parsed from test source");
+        let cfg = build(&ast.arena, &ast.fns[0].body);
+        (ast, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block_chain() {
+        let (_, cfg) = cfg_of("fn f() { let a = 1; let b = 2; }");
+        assert_eq!(cfg.blocks[0].events.len(), 2);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn if_has_two_paths_to_join() {
+        let (_, cfg) = cfg_of("fn f(x: u64) { if x > 0 { let a = 1; } let b = 2; }");
+        // Entry forks to the then-block and the join.
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let (_, cfg) = cfg_of("fn f(x: u64) { while x > 0 { let a = 1; } }");
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s <= i));
+        assert!(has_back_edge, "loop must produce a back edge: {cfg:?}");
+    }
+
+    #[test]
+    fn return_ends_the_path() {
+        let (_, cfg) = cfg_of("fn f() { return; }");
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn match_fans_out_per_arm() {
+        let (_, cfg) = cfg_of("fn f(x: u64) { match x { 0 => { let a = 1; }, _ => {} } }");
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! A small intra-procedural forward dataflow engine over [`crate::cfg`]
+//! graphs.
+//!
+//! The engine is generic over the abstract state: a rule supplies the
+//! entry state, a `join` that merges states at control-flow merges, and
+//! a `transfer` applied to each [`Event`] in block order. Iteration
+//! runs to a fixpoint with a conservative round cap (states in this
+//! crate are finite-height — domain maps that collapse to `Unknown` on
+//! conflict, taint sets over a finite variable population, booleans —
+//! so the cap is a backstop, not a correctness requirement).
+
+use crate::cfg::{Cfg, Event};
+
+/// Run a forward analysis to fixpoint; returns the state at each
+/// block's *entry*.
+///
+/// `join(acc, incoming)` must be monotone (only widen `acc`);
+/// `transfer(event, state)` mutates the state through one event.
+pub fn forward<S, J, T>(cfg: &Cfg, init: S, join: J, mut transfer: T) -> Vec<S>
+where
+    S: Clone + PartialEq,
+    J: Fn(&mut S, &S),
+    T: FnMut(&Event, &mut S),
+{
+    let n = cfg.blocks.len();
+    let mut entry: Vec<Option<S>> = vec![None; n];
+    if n == 0 {
+        return Vec::new();
+    }
+    entry[0] = Some(init.clone());
+    let mut work: Vec<usize> = vec![0];
+    let mut rounds = 0usize;
+    let cap = 64 * n.max(1);
+    while let Some(b) = work.pop() {
+        rounds += 1;
+        if rounds > cap {
+            break;
+        }
+        let Some(mut state) = entry.get(b).and_then(|s| s.clone()) else {
+            continue;
+        };
+        for ev in &cfg.blocks[b].events {
+            transfer(ev, &mut state);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let changed = match entry.get_mut(succ) {
+                Some(slot @ None) => {
+                    *slot = Some(state.clone());
+                    true
+                }
+                Some(Some(existing)) => {
+                    let before = existing.clone();
+                    join(existing, &state);
+                    *existing != before
+                }
+                None => false,
+            };
+            if changed && !work.contains(&succ) {
+                work.push(succ);
+            }
+        }
+    }
+    entry
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| init.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::cfg::build;
+    use crate::lexer::tokenize;
+
+    /// Reachability of a "set" statement joins with OR across paths.
+    #[test]
+    fn boolean_or_join_reaches_fixpoint() {
+        let src = "fn f(x: u64) { if x > 0 { let set = 1; } while x < 9 { let probe = 2; } }";
+        let toks = tokenize(src);
+        let filtered: Vec<&crate::lexer::Token> = toks.iter().filter(|t| !t.is_comment()).collect();
+        let ast = parse(&filtered);
+        let cfg = build(&ast.arena, &ast.fns[0].body);
+        let mut saw_probe_with_flag = false;
+        let states = forward(
+            &cfg,
+            false,
+            |acc: &mut bool, inc: &bool| *acc = *acc || *inc,
+            |ev, state| {
+                if let Event::Stmt(sid) = ev {
+                    if let crate::ast::Stmt::Let { names, .. } = ast.arena.stmt(*sid) {
+                        if names.iter().any(|n| n == "set") {
+                            *state = true;
+                        }
+                        if names.iter().any(|n| n == "probe") && *state {
+                            saw_probe_with_flag = true;
+                        }
+                    }
+                }
+            },
+        );
+        assert_eq!(states.len(), cfg.blocks.len());
+        // `probe` is reachable both with and without `set` having run:
+        // the may-analysis must see the flag at the loop body.
+        assert!(saw_probe_with_flag);
+    }
+}

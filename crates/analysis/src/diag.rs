@@ -29,6 +29,19 @@ pub enum RuleId {
     /// A raw write to a sweep journal (`journal.jsonl`) bypassing the
     /// checksummed `Journal::append` helper.
     JournalAppend,
+    /// Dataflow tier: arithmetic/comparison mixing two inferred unit
+    /// domains (picoseconds vs. cycles vs. bytes vs. refs), or a time
+    /// quantity declared as a raw integer.
+    UnitMix,
+    /// Dataflow tier: a wall-clock/env/thread-identity value flowing
+    /// into simulated state, a fingerprint, or a serialized cell.
+    NondetTaint,
+    /// Dataflow tier: a journal claim append with a CFG path to cell
+    /// execution that never re-reads the journal.
+    ClaimReadback,
+    /// Dataflow tier: a polling loop in the runner tree that sleeps
+    /// without consulting a cancel/shutdown signal.
+    CancelPoll,
     /// A `// lint: allow(...)` waiver with no `— <reason>` text.
     WaiverMissingReason,
     /// A waiver that matched no diagnostic on its line.
@@ -37,7 +50,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 15] = [
         RuleId::HashIter,
         RuleId::WallClock,
         RuleId::EnvRead,
@@ -47,6 +60,10 @@ impl RuleId {
         RuleId::SweepRoute,
         RuleId::ErrorMatch,
         RuleId::JournalAppend,
+        RuleId::UnitMix,
+        RuleId::NondetTaint,
+        RuleId::ClaimReadback,
+        RuleId::CancelPoll,
         RuleId::WaiverMissingReason,
         RuleId::UnusedWaiver,
     ];
@@ -63,6 +80,10 @@ impl RuleId {
             RuleId::SweepRoute => "sweep-route",
             RuleId::ErrorMatch => "error-match",
             RuleId::JournalAppend => "journal-append",
+            RuleId::UnitMix => "unit-mix",
+            RuleId::NondetTaint => "nondet-taint",
+            RuleId::ClaimReadback => "claim-readback",
+            RuleId::CancelPoll => "cancel-poll",
             RuleId::WaiverMissingReason => "waiver-missing-reason",
             RuleId::UnusedWaiver => "unused-waiver",
         }
@@ -81,8 +102,170 @@ impl RuleId {
             "sweep-route" => RuleId::SweepRoute,
             "error-match" => RuleId::ErrorMatch,
             "journal-append" => RuleId::JournalAppend,
+            "unit-mix" => RuleId::UnitMix,
+            "nondet-taint" => RuleId::NondetTaint,
+            "claim-readback" => RuleId::ClaimReadback,
+            "cancel-poll" => RuleId::CancelPoll,
             _ => return None,
         })
+    }
+
+    /// Parse any rule id, including the waiver-meta rules (used by
+    /// `--explain`, where the meta rules are legitimate queries even
+    /// though they cannot be waived).
+    pub fn from_waiver_str_or_meta(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Which tier runs this rule.
+    pub fn tier_name(self) -> &'static str {
+        match self {
+            RuleId::UnitMix | RuleId::NondetTaint | RuleId::ClaimReadback | RuleId::CancelPoll => {
+                "dataflow"
+            }
+            _ => "token",
+        }
+    }
+
+    /// One-line description, used by SARIF rule metadata and `--explain`.
+    pub fn short_description(self) -> &'static str {
+        match self {
+            RuleId::HashIter => "hash-ordered iteration in a simulation path",
+            RuleId::WallClock => "wall-clock read outside the timing allowlist",
+            RuleId::EnvRead => "environment/thread-id read in a simulation path",
+            RuleId::PanicDoc => "undocumented panic in library code",
+            RuleId::Unwrap => "unwrap()/expect() in library code",
+            RuleId::AttachTrace => "MemorySystem impl without attach_trace",
+            RuleId::SweepRoute => "experiment table/figure bypassing SweepRunner",
+            RuleId::ErrorMatch => "wildcard arm in a typed error match",
+            RuleId::JournalAppend => "raw journal write bypassing Journal::append",
+            RuleId::UnitMix => "arithmetic mixing unit domains (ps/ns/cycles/bytes/refs)",
+            RuleId::NondetTaint => "wall-clock-derived value reaching sim state or a fingerprint",
+            RuleId::ClaimReadback => "claim appended but not read back before cell execution",
+            RuleId::CancelPoll => "polling loop that sleeps without a cancel check",
+            RuleId::WaiverMissingReason => "waiver without a `— <reason>`",
+            RuleId::UnusedWaiver => "waiver matching no finding",
+        }
+    }
+
+    /// Full help text for `repro lint --explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::HashIter => {
+                "hash-iter (token tier)\n\
+                 Iterating a HashMap/HashSet yields a different order on every run\n\
+                 (the hasher is seeded randomly), so any simulated result derived\n\
+                 from the order is nondeterministic. Use BTreeMap/BTreeSet or sort\n\
+                 before iterating in simulation paths."
+            }
+            RuleId::WallClock => {
+                "wall-clock (token tier)\n\
+                 Instant::now/SystemTime reads are only legitimate in reporting\n\
+                 code (sweep-runner timing, watchdog budgets, binaries, benches).\n\
+                 Anywhere else they make results depend on host speed."
+            }
+            RuleId::EnvRead => {
+                "env-read (token tier)\n\
+                 std::env and thread-identity reads in simulation paths make\n\
+                 results depend on the host environment. Thread configuration\n\
+                 belongs in SystemConfig, not the process environment."
+            }
+            RuleId::PanicDoc => {
+                "panic-doc (token tier)\n\
+                 A panic!/unreachable!/assert! in library code must state its\n\
+                 invariant: add a `// invariant: ...` comment on an adjacent line\n\
+                 or a `# Panics` doc section so callers know the contract."
+            }
+            RuleId::Unwrap => {
+                "unwrap (token tier)\n\
+                 unwrap()/expect() in library code turns recoverable errors into\n\
+                 aborts mid-sweep. Propagate with `?` or handle the None/Err arm."
+            }
+            RuleId::AttachTrace => {
+                "attach-trace (token tier)\n\
+                 Every `impl MemorySystem` must define or inherit attach_trace so\n\
+                 the tracing harness can observe it."
+            }
+            RuleId::SweepRoute => {
+                "sweep-route (token tier)\n\
+                 experiments/table*.rs and fig*.rs must route through SweepRunner\n\
+                 so journaling, leases, and resumability apply to every cell."
+            }
+            RuleId::JournalAppend => {
+                "journal-append (token tier)\n\
+                 Writing journal.jsonl directly bypasses the checksummed\n\
+                 Journal::append helper and breaks crash-safe replay."
+            }
+            RuleId::ErrorMatch => {
+                "error-match (token tier)\n\
+                 A wildcard `_ =>` arm over a typed error enum silently swallows\n\
+                 variants added later. Match every variant explicitly."
+            }
+            RuleId::UnitMix => {
+                "unit-mix (dataflow tier)\n\
+                 The analyzer infers a unit domain — picoseconds, nanoseconds,\n\
+                 cycles, bytes, references — for each value from Picos newtypes,\n\
+                 `_ps`/`_ns`/`_cycles` name suffixes, and the BankTiming/\n\
+                 SystemConfig vocabulary (t_rp, t_rcd, t_cas, quantum_time,\n\
+                 busy_until are picoseconds; quantum_refs is references;\n\
+                 unit_bytes is bytes). Domains flow through let-bindings,\n\
+                 assignments, casts, and unit-preserving methods (max, min,\n\
+                 saturating_add, ...). Adding, subtracting, or comparing two\n\
+                 values with *different* known domains is an error: the paper's\n\
+                 timing claims collapse if a tRCD in nanoseconds is ever added\n\
+                 to a quantum in cycles. Casts do not launder units — `ps as\n\
+                 u64` keeps its domain. Fields named like time quantities\n\
+                 (`*_ps`, `*_time`) declared as raw integers are also flagged:\n\
+                 wrap them in the Picos newtype. Multiplication and division\n\
+                 legitimately change units and are not checked.\n\
+                 \n\
+                 Example finding:\n\
+                     let total = cfg.quantum_time + refs_done;\n\
+                     // [unit-mix] `+` mixes picoseconds with references\n\
+                 Fix: convert explicitly (refs_done * ps_per_ref) or keep the\n\
+                 quantities in separate typed fields."
+            }
+            RuleId::NondetTaint => {
+                "nondet-taint (dataflow tier)\n\
+                 Values derived from Instant::now, SystemTime, std::env,\n\
+                 thread::current, or wall_ms are tainted; taint propagates\n\
+                 through bindings, arithmetic, field reads, and call arguments.\n\
+                 A tainted value reaching a Cell/FrozenCell payload, a\n\
+                 fingerprint, or a run_config argument breaks bit-identical\n\
+                 reproducibility — those bytes are serialized into cells.json /\n\
+                 journal.jsonl and compared on replay. Wall-clock may feed\n\
+                 progress reporting and lease timestamps, never results."
+            }
+            RuleId::ClaimReadback => {
+                "claim-readback (dataflow tier)\n\
+                 The crash-safe sweep protocol requires: append a Claim record,\n\
+                 then RE-READ the journal (the first live claim in file order\n\
+                 wins), and only execute the cell if the readback says the claim\n\
+                 is ours. This rule checks, on every control-flow path of every\n\
+                 runner function, that no execute call is reachable from a claim\n\
+                 append without an intervening scan/replay. Executing an\n\
+                 unconfirmed claim double-computes cells and corrupts adoption\n\
+                 after a crash."
+            }
+            RuleId::CancelPoll => {
+                "cancel-poll (dataflow tier)\n\
+                 Every runner loop that sleeps (watchdog polls, heartbeat waits)\n\
+                 must consult a cancel/shutdown signal each iteration —\n\
+                 shutdown_requested(), a cancel token load, or wd.poll().\n\
+                 Otherwise a stalled worker holds its lease past the stall\n\
+                 budget and the watchdog cannot reclaim the cell."
+            }
+            RuleId::WaiverMissingReason => {
+                "waiver-missing-reason (meta)\n\
+                 `// lint: allow(<rule>)` must carry `— <reason>` text; an\n\
+                 unexplained suppression is itself a finding."
+            }
+            RuleId::UnusedWaiver => {
+                "unused-waiver (meta)\n\
+                 A waiver that matches no finding on its line is stale — the\n\
+                 code was fixed or the rule changed. Remove it."
+            }
+        }
     }
 }
 

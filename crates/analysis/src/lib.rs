@@ -16,9 +16,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod tier2;
 
 use std::fs;
 use std::io;
@@ -26,6 +31,36 @@ use std::path::{Path, PathBuf};
 
 use diag::Diagnostic;
 use rules::StructuralFacts;
+
+/// Which rule families run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// The fast default: token-stream passes only.
+    #[default]
+    Token,
+    /// Token passes plus the AST/CFG/dataflow rules (unit-mix,
+    /// nondet-taint, claim-readback, cancel-poll).
+    Dataflow,
+}
+
+impl Tier {
+    /// Parse a `--tier=` value.
+    pub fn from_flag(s: &str) -> Option<Tier> {
+        match s {
+            "token" => Some(Tier::Token),
+            "dataflow" => Some(Tier::Dataflow),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Token => "token",
+            Tier::Dataflow => "dataflow",
+        }
+    }
+}
 
 /// How a file's path classifies it for rule selection.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +79,12 @@ pub struct FileClass {
     /// `experiments/table*.rs` / `fig*.rs`: must route through
     /// `SweepRunner`.
     pub sweep_routed: bool,
+    /// Unit-domain-checked timing code: the DRAM backends, the channel
+    /// router, and `SystemConfig` (dataflow tier).
+    pub unit_checked: bool,
+    /// The sweep-runner tree: journal/lease protocol conformance and
+    /// cancel-token polling apply (dataflow tier).
+    pub runner_protocol: bool,
 }
 
 /// Path prefixes whose contents count as simulation code.
@@ -108,23 +149,32 @@ pub fn classify(rel: &str) -> FileClass {
         && p.contains("experiments/")
         && (file_name.starts_with("table") || file_name.starts_with("fig"))
         && file_name.ends_with(".rs");
+    let unit_checked = sim_path || (!is_test && p == "crates/core/src/config.rs");
+    let runner_protocol = !is_test && p.starts_with("crates/core/src/experiments/runner");
     FileClass {
         is_test,
         is_lib,
         sim_path,
         wall_clock_allowed,
         sweep_routed,
+        unit_checked,
+        runner_protocol,
     }
 }
 
 /// Analyze a set of in-memory sources (used by the fixture tests): runs
 /// the per-file rules plus the workspace-level structural finalizer.
 pub fn analyze_sources(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    analyze_sources_tier(files, Tier::Token)
+}
+
+/// [`analyze_sources`] at an explicit tier.
+pub fn analyze_sources_tier(files: &[(&str, &str)], tier: Tier) -> Vec<Diagnostic> {
     let mut facts = StructuralFacts::default();
     let mut diags = Vec::new();
     for (rel, text) in files {
         let class = classify(rel);
-        let (file_diags, file_facts) = rules::analyze_source(rel, &class, text);
+        let (file_diags, file_facts) = rules::analyze_source_tier(rel, &class, text, tier);
         diags.extend(file_diags);
         facts.merge(file_facts);
     }
@@ -138,28 +188,88 @@ pub fn analyze_one(rel: &str, text: &str) -> Vec<Diagnostic> {
     analyze_sources(&[(rel, text)])
 }
 
-/// Walk the workspace rooted at `root` and analyze every `.rs` file.
+/// [`analyze_one`] at an explicit tier.
+pub fn analyze_one_tier(rel: &str, text: &str, tier: Tier) -> Vec<Diagnostic> {
+    analyze_sources_tier(&[(rel, text)], tier)
+}
+
+/// Walk the workspace rooted at `root` and analyze every `.rs` file at
+/// the token tier.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    analyze_workspace_tier(root, Tier::Token).map(|r| r.diagnostics)
+}
+
+/// A workspace analysis run: the findings plus what the timing line
+/// reports.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All findings, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were analyzed.
+    pub files: usize,
+}
+
+/// Walk the workspace rooted at `root` and analyze every `.rs` file at
+/// the chosen tier. Files are read up front, then analyzed in parallel
+/// with scoped threads; each file is tokenized exactly once and the
+/// token stream is shared across every pass of both tiers. The final
+/// sort makes the report order independent of scheduling.
+pub fn analyze_workspace_tier(root: &Path, tier: Tier) -> io::Result<WorkspaceReport> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-    let mut facts = StructuralFacts::default();
-    let mut diags = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let class = classify(&rel);
         let text = fs::read_to_string(path)?;
-        let (file_diags, file_facts) = rules::analyze_source(&rel, &class, &text);
-        diags.extend(file_diags);
-        facts.merge(file_facts);
+        sources.push((rel, text));
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(sources.len().max(1));
+    let chunk = sources.len().div_ceil(workers.max(1)).max(1);
+    let mut per_chunk: Vec<(Vec<Diagnostic>, StructuralFacts)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for slice in sources.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                let mut diags = Vec::new();
+                let mut facts = StructuralFacts::default();
+                for (rel, text) in slice {
+                    let class = classify(rel);
+                    let (file_diags, file_facts) =
+                        rules::analyze_source_tier(rel, &class, text, tier);
+                    diags.extend(file_diags);
+                    facts.merge(file_facts);
+                }
+                (diags, facts)
+            }));
+        }
+        for h in handles {
+            if let Ok(part) = h.join() {
+                per_chunk.push(part);
+            }
+        }
+    });
+
+    let mut facts = StructuralFacts::default();
+    let mut diags = Vec::new();
+    for (part_diags, part_facts) in per_chunk {
+        diags.extend(part_diags);
+        facts.merge(part_facts);
     }
     diags.extend(rules::finalize_structural(&facts));
     sort_diags(&mut diags);
-    Ok(diags)
+    Ok(WorkspaceReport {
+        diagnostics: diags,
+        files: sources.len(),
+    })
 }
 
 /// Recursively collect `.rs` files, skipping build output, VCS state,
@@ -261,5 +371,43 @@ mod tests {
 
         let c = classify("src/lib.rs");
         assert!(c.is_lib && !c.sim_path);
+    }
+
+    #[test]
+    fn dataflow_scopes_of_known_paths() {
+        let c = classify("crates/dram/src/bank.rs");
+        assert!(c.unit_checked && !c.runner_protocol);
+
+        let c = classify("crates/core/src/channel.rs");
+        assert!(c.unit_checked, "the channel router carries Picos timing");
+
+        let c = classify("crates/core/src/config.rs");
+        assert!(
+            c.unit_checked && !c.sim_path,
+            "SystemConfig declares the timing vocabulary"
+        );
+
+        let c = classify("crates/core/src/experiments/runner/mod.rs");
+        assert!(c.runner_protocol && !c.unit_checked);
+
+        let c = classify("crates/core/src/experiments/runner/journal.rs");
+        assert!(c.runner_protocol);
+
+        let c = classify("crates/core/src/experiments/grids.rs");
+        assert!(!c.runner_protocol && !c.unit_checked);
+
+        let c = classify("crates/analysis/tests/fixtures/bad/unit_mix.rs");
+        assert!(c.is_test && !c.unit_checked && !c.runner_protocol);
+    }
+
+    #[test]
+    fn tier_flag_round_trips() {
+        assert_eq!(Tier::from_flag("token"), Some(Tier::Token));
+        assert_eq!(Tier::from_flag("dataflow"), Some(Tier::Dataflow));
+        assert_eq!(Tier::from_flag("bogus"), None);
+        assert_eq!(Tier::default(), Tier::Token);
+        for t in [Tier::Token, Tier::Dataflow] {
+            assert_eq!(Tier::from_flag(t.as_str()), Some(t));
+        }
     }
 }

@@ -95,12 +95,25 @@ struct Waiver {
     used: bool,
 }
 
-/// Analyze one file: run every applicable per-file rule, resolve
-/// waivers, and collect structural facts for the workspace finalizer.
+/// Analyze one file at the default (token) tier.
 pub fn analyze_source(
     rel: &str,
     class: &FileClass,
     text: &str,
+) -> (Vec<Diagnostic>, StructuralFacts) {
+    analyze_source_tier(rel, class, text, crate::Tier::Token)
+}
+
+/// Analyze one file: run every applicable per-file rule at the chosen
+/// tier, resolve waivers, and collect structural facts for the
+/// workspace finalizer. The file is tokenized exactly once; both tiers
+/// share the stream (the dataflow tier parses the same comment-free,
+/// test-mask-free view the token passes index).
+pub fn analyze_source_tier(
+    rel: &str,
+    class: &FileClass,
+    text: &str,
+    tier: crate::Tier,
 ) -> (Vec<Diagnostic>, StructuralFacts) {
     let toks = tokenize(text);
     let mask = test_mask(&toks);
@@ -130,6 +143,11 @@ pub fn analyze_source(
     }
     if !class.is_test {
         journal_append_pass(rel, &code, &mut diags);
+    }
+
+    if tier == crate::Tier::Dataflow && !class.is_test {
+        let filtered: Vec<&Token> = code.ix.iter().map(|&i| &toks[i]).collect();
+        crate::tier2::run(rel, class, &filtered, &mut diags);
     }
 
     let facts = if class.is_test {

@@ -1,0 +1,7 @@
+//! Bad: a dataflow-rule waiver that matches no finding.
+
+/// Same-unit arithmetic needs no waiver; this one is stale.
+pub fn clean(now_ps: u64, start_ps: u64) -> u64 {
+    // lint: allow(unit-mix) — stale waiver, nothing mixes here
+    now_ps - start_ps
+}

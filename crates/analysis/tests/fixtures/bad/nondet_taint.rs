@@ -1,0 +1,22 @@
+//! Bad: wall-clock-derived values reach serialized/fingerprinted state.
+
+/// One sweep-cell payload (serialized into cells.json on replay).
+pub struct Cell {
+    /// Simulated result value.
+    pub value: u64,
+}
+
+/// Stamps a wall-clock reading into the serialized payload.
+pub fn stamp() -> Cell {
+    let started = std::time::Instant::now();
+    let measured = started.elapsed().as_nanos() as u64;
+    // BAD: host-speed-dependent value in a replay-compared payload.
+    Cell { value: measured }
+}
+
+/// Seeds a fingerprint from wall time.
+pub fn seed() -> u64 {
+    let stamp_ms = wall_ms();
+    // BAD: nondeterministic fingerprint input.
+    fingerprint(stamp_ms)
+}

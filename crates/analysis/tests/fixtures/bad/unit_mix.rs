@@ -1,0 +1,20 @@
+//! Bad: raw-integer time declarations and mixed-domain arithmetic.
+
+/// A time-based slice configuration.
+pub struct SliceCfg {
+    /// BAD: a time quantity declared as a raw integer.
+    pub slice_time: u64,
+}
+
+/// Mixes units three ways.
+pub fn mix(elapsed_ns: u64) -> u64 {
+    // BAD: picoseconds (vocabulary) + references (vocabulary).
+    let total = t_rcd + quantum_refs;
+    // BAD: picoseconds compared against bytes.
+    if total > unit_bytes {
+        return total;
+    }
+    // BAD: a cast does not launder nanoseconds into picoseconds.
+    let sum = elapsed_ns as u64 + t_cas;
+    sum
+}

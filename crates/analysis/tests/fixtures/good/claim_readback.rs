@@ -1,0 +1,16 @@
+//! Good: every path re-reads the journal between claim and execution.
+
+/// The protocol: append the claim, re-scan, execute only if ours.
+pub fn claim_and_run(durable: &mut Durable, ready: bool) {
+    durable.append(JournalOp::Claim { fp: 7, attempt: 1 });
+    let readback = durable.scan();
+    if ready {
+        touch(&readback);
+    }
+    execute_slice(durable);
+}
+
+/// No claim appended: execution needs no readback.
+pub fn run_adopted(durable: &mut Durable) {
+    execute_slice(durable);
+}

@@ -1,0 +1,19 @@
+//! Good: wall-clock feeds progress reporting only.
+
+/// Progress telemetry (never serialized into results).
+pub struct BatchProgress {
+    /// Mean wall seconds per cell — reporting only.
+    pub mean_secs: f64,
+}
+
+/// Times a batch for the progress callback.
+pub fn observe() -> BatchProgress {
+    let started = std::time::Instant::now();
+    let secs = started.elapsed().as_secs_f64();
+    BatchProgress { mean_secs: secs }
+}
+
+/// Simulated values may flow anywhere.
+pub fn freeze(simulated: u64) -> Cell {
+    Cell { value: simulated }
+}

@@ -1,0 +1,24 @@
+//! Good: unit-correct timing arithmetic.
+
+/// Typed slice configuration: the unit lives in the newtype.
+pub struct SliceCfg {
+    /// The slice length, typed.
+    pub slice_time: Picos,
+    /// A rate is a ratio of units, not a time.
+    pub bytes_per_ms: u64,
+}
+
+/// Same-domain arithmetic and explicit conversions are fine.
+pub fn accumulate(busy_until: u64, now_ps: u64, refs_done: u64) -> u64 {
+    // Picoseconds with picoseconds.
+    let wait = busy_until.max(now_ps) - now_ps;
+    // Multiplication legitimately changes the unit (refs × ps/ref).
+    let budget = refs_done * 2_000;
+    let _ = budget;
+    // An unknown-domain scalar is compatible with anything.
+    let limit = threshold();
+    if wait > limit {
+        return wait;
+    }
+    wait
+}

@@ -1,0 +1,8 @@
+//! Good: a deliberate cross-domain comparison, waived at the site.
+
+/// Compares a picosecond budget against a reference count on purpose
+/// (a coarse admission heuristic), with the waiver explaining why.
+pub fn admit(quantum_refs: u64) -> bool {
+    // lint: allow(unit-mix) — coarse admission heuristic, both sides scale together
+    t_rcd > quantum_refs
+}

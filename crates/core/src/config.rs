@@ -3,7 +3,7 @@
 use crate::error::ConfigError;
 use crate::time::IssueRate;
 use rampage_cache::{Geometry, ReplacementPolicy};
-use rampage_dram::{BankedConfig, DramModel};
+use rampage_dram::{BankedConfig, DramModel, Picos};
 use rampage_vm::os::OsCosts;
 use rampage_vm::PageSize;
 
@@ -300,11 +300,11 @@ pub struct SystemConfig {
     /// References per scheduling quantum (the paper's interleave: a
     /// fixed 500 000 references regardless of CPU speed).
     pub quantum: u64,
-    /// Optional *time-based* quantum in simulated picoseconds. When set
-    /// it overrides the reference quantum — the real-time-clock slice the
-    /// paper says a real system would use (§5.5), under which a faster
-    /// CPU executes more references per slice.
-    pub quantum_time: Option<u64>,
+    /// Optional *time-based* quantum. When set it overrides the
+    /// reference quantum — the real-time-clock slice the paper says a
+    /// real system would use (§5.5), under which a faster CPU executes
+    /// more references per slice.
+    pub quantum_time: Option<Picos>,
     /// Insert the ~400-reference context-switch trace at quantum
     /// boundaries (§4.6; Table 4/5 runs enable this).
     pub switch_trace: bool,
@@ -439,7 +439,7 @@ impl SystemConfig {
         if self.quantum == 0 {
             return Err(ConfigError::ZeroQuantum);
         }
-        if self.quantum_time == Some(0) {
+        if self.quantum_time == Some(Picos::ZERO) {
             return Err(ConfigError::ZeroTimeQuantum);
         }
         if self.l1_victim_blocks == Some(0) {

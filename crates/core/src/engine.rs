@@ -337,7 +337,7 @@ impl Engine {
                         let expired = match self.cfg.quantum_time {
                             // Real-time-clock slice (§5.5): a faster CPU
                             // packs more references into each quantum.
-                            Some(ps) => self.now.0 - self.quantum_started.0 >= ps,
+                            Some(slice) => self.now - self.quantum_started >= slice,
                             None => self.used_in_quantum >= self.cfg.quantum,
                         };
                         if expired {

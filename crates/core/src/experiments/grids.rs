@@ -107,7 +107,7 @@ pub fn preset_grids() -> Vec<PresetGrid> {
             for &size in &PAPER_SIZES {
                 let mut cfg = SystemConfig::two_way(rate, size);
                 let regime = if time_based {
-                    cfg.quantum_time = Some(DEFAULT_SLICE_PS);
+                    cfg.quantum_time = Some(rampage_dram::Picos(DEFAULT_SLICE_PS));
                     "two_way+time"
                 } else {
                     "two_way+refs"

@@ -58,7 +58,7 @@ pub fn run(
             for &s in sizes {
                 let mut cfg = SystemConfig::two_way(rate, s);
                 if time_based {
-                    cfg.quantum_time = Some(slice_ps);
+                    cfg.quantum_time = Some(rampage_dram::Picos(slice_ps));
                 }
                 jobs.push(Job::new(cfg, *workload));
             }
@@ -195,7 +195,7 @@ mod tests {
         // the engine must rotate far more often than the 500 k-ref
         // default would.
         let mut cfg = SystemConfig::two_way(IssueRate::GHZ1, 512);
-        cfg.quantum_time = Some(1_000_000);
+        cfg.quantum_time = Some(rampage_dram::Picos(1_000_000));
         let out = Engine::for_suite(&cfg, 3, 20_000, 5).run();
         assert!(
             out.metrics.counts.context_switches > 20,

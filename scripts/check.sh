@@ -47,6 +47,27 @@ step cargo build --release
 # unwaived finding fails the build.
 step ./target/release/repro lint --quiet
 
+# The dataflow tier on top: unit-mix, nondet-taint, claim-readback,
+# cancel-poll (AST/CFG/dataflow passes). Also a hard gate.
+step ./target/release/repro lint --tier=dataflow --quiet
+
+# Schema sanity: the JSON report's `active` count and the SARIF
+# document's unsuppressed-result count must agree — the two renderings
+# describe the same findings.
+echo "==> repro lint --json vs --format sarif count agreement"
+LINT_TMP=$(mktemp -d)
+./target/release/repro lint --tier=dataflow --json >"${LINT_TMP}/report.json" || true
+./target/release/repro lint --tier=dataflow --format sarif >"${LINT_TMP}/report.sarif" || true
+JSON_ACTIVE=$(grep -o '"active":[0-9]*' "${LINT_TMP}/report.json" | head -1 | cut -d: -f2)
+SARIF_RESULTS=$(grep -o '"ruleId"' "${LINT_TMP}/report.sarif" | wc -l)
+SARIF_SUPPRESSED=$(grep -o '"suppressions"' "${LINT_TMP}/report.sarif" | wc -l)
+SARIF_ACTIVE=$((SARIF_RESULTS - SARIF_SUPPRESSED))
+if [[ "${JSON_ACTIVE}" -ne "${SARIF_ACTIVE}" ]]; then
+  echo "FAIL: JSON active=${JSON_ACTIVE} but SARIF unsuppressed=${SARIF_ACTIVE}" >&2
+  exit 1
+fi
+rm -rf "${LINT_TMP}"
+
 # Model-check every experiment preset's sweep grid against
 # SystemConfig::validate(), so a bad preset fails here, not mid-sweep.
 step ./target/release/repro lint --configs

@@ -10,7 +10,8 @@
 //! repro trace info      --dir DIR
 //! repro trace verify    --dir DIR [--jobs N]
 //! repro trace import-din --dir DIR --name NAME FILE [--block-bytes N]
-//! repro lint [--json] [--quiet] [--root DIR]
+//! repro lint [--tier token|dataflow] [--format text|json|sarif] [--quiet] [--root DIR]
+//! repro lint --explain RULE
 //! repro lint --configs [--json]
 //!
 //! artifacts: table1 table2 table3 fig2 fig3 fig4 table4 table5 fig5
@@ -971,14 +972,23 @@ fn trace_main(args: Vec<String>) -> i32 {
     }
 }
 
-const LINT_USAGE: &str = "usage: repro lint [--json] [--quiet] [--root DIR]
+const LINT_USAGE: &str =
+    "usage: repro lint [--tier TIER] [--format FMT] [--json] [--quiet] [--root DIR]
+       repro lint --explain RULE
        repro lint --configs [--json]
 
 Runs the workspace static analyzer (rampage-analysis): determinism
-lints, panic discipline, and structural checks over every crate. With
---configs it instead enumerates every experiment preset's sweep grid
-and runs SystemConfig::validate() on each cell, so a bad preset fails
-at lint time rather than mid-sweep.
+lints, panic discipline, and structural checks over every crate.
+
+--tier token     fast token-stream passes only (default)
+--tier dataflow  adds the AST/CFG/dataflow rules: unit-mix,
+                 nondet-taint, claim-readback, cancel-poll
+--format FMT     text (default), json, or sarif (CI annotation)
+--explain RULE   print one rule's help text and exit
+
+With --configs it instead enumerates every experiment preset's sweep
+grid and runs SystemConfig::validate() on each cell, so a bad preset
+fails at lint time rather than mid-sweep.
 
 exit codes: 0 clean, 1 findings / invalid cells, 2 usage or I/O error";
 
@@ -986,16 +996,51 @@ exit codes: 0 clean, 1 findings / invalid cells, 2 usage or I/O error";
 /// `--configs` model-check mode over the preset grids in
 /// [`rampage_core::experiments::grids`].
 fn lint_main(args: Vec<String>) -> i32 {
-    let mut json = false;
+    use rampage_analysis::Tier;
+
+    let mut format = String::from("text");
     let mut quiet = false;
     let mut configs = false;
+    let mut tier = Tier::Token;
     let mut root: Option<std::path::PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = "json".into(),
             "--quiet" => quiet = true,
             "--configs" => configs = true,
+            "--tier" => match it.next().as_deref().and_then(Tier::from_flag) {
+                Some(t) => tier = t,
+                None => {
+                    eprintln!("--tier needs token|dataflow\n{LINT_USAGE}");
+                    return 2;
+                }
+            },
+            "--format" => match it.next() {
+                Some(f) if matches!(f.as_str(), "text" | "json" | "sarif") => format = f,
+                _ => {
+                    eprintln!("--format needs text|json|sarif\n{LINT_USAGE}");
+                    return 2;
+                }
+            },
+            "--explain" => {
+                use rampage_analysis::diag::RuleId;
+                return match it
+                    .next()
+                    .as_deref()
+                    .and_then(RuleId::from_waiver_str_or_meta)
+                {
+                    Some(rule) => {
+                        println!("{}", rule.explain());
+                        0
+                    }
+                    None => {
+                        let ids: Vec<&str> = RuleId::ALL.iter().map(|r| r.as_str()).collect();
+                        eprintln!("--explain needs one of: {}", ids.join(", "));
+                        2
+                    }
+                };
+            }
             "--root" => match it.next() {
                 Some(p) => root = Some(p.into()),
                 None => {
@@ -1008,6 +1053,26 @@ fn lint_main(args: Vec<String>) -> i32 {
                 return 0;
             }
             other => {
+                if let Some(t) = other.strip_prefix("--tier=") {
+                    match Tier::from_flag(t) {
+                        Some(t) => {
+                            tier = t;
+                            continue;
+                        }
+                        None => {
+                            eprintln!("--tier needs token|dataflow\n{LINT_USAGE}");
+                            return 2;
+                        }
+                    }
+                }
+                if let Some(f) = other.strip_prefix("--format=") {
+                    if matches!(f, "text" | "json" | "sarif") {
+                        format = f.to_string();
+                        continue;
+                    }
+                    eprintln!("--format needs text|json|sarif\n{LINT_USAGE}");
+                    return 2;
+                }
                 eprintln!("unknown lint argument: {other}\n{LINT_USAGE}");
                 return 2;
             }
@@ -1015,7 +1080,7 @@ fn lint_main(args: Vec<String>) -> i32 {
     }
 
     if configs {
-        return lint_configs(json);
+        return lint_configs(format == "json");
     }
 
     let root = root.or_else(|| {
@@ -1026,24 +1091,35 @@ fn lint_main(args: Vec<String>) -> i32 {
         eprintln!("could not locate the workspace root; pass --root DIR");
         return 2;
     };
-    let diags = match rampage_analysis::analyze_workspace(&root) {
-        Ok(d) => d,
+    let started = std::time::Instant::now();
+    let report = match rampage_analysis::analyze_workspace_tier(&root, tier) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("lint: failed to analyze {}: {e}", root.display());
             return 2;
         }
     };
+    let elapsed = started.elapsed();
+    let diags = report.diagnostics;
     let active = diags.iter().filter(|d| d.is_active()).count();
     let waived = diags.len() - active;
-    if json {
-        println!("{}", rampage_analysis::diag::render_json_report(&diags));
-    } else {
-        if !quiet {
-            for d in &diags {
-                println!("{}", d.render_text());
+    match format.as_str() {
+        "json" => println!("{}", rampage_analysis::diag::render_json_report(&diags)),
+        "sarif" => println!("{}", rampage_analysis::sarif::render_sarif(&diags)),
+        _ => {
+            if !quiet {
+                for d in &diags {
+                    println!("{}", d.render_text());
+                }
             }
+            println!("analysis: {active} finding(s), {waived} waived");
+            println!(
+                "analysis: tier={} files={} elapsed={:.0}ms",
+                tier.as_str(),
+                report.files,
+                elapsed.as_secs_f64() * 1000.0
+            );
         }
-        println!("analysis: {active} finding(s), {waived} waived");
     }
     if active == 0 {
         0
